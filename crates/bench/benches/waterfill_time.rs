@@ -1,0 +1,47 @@
+//! Criterion bench for the steady-state estimator (Algorithm 1): the inner
+//! loop NetPack reruns once per placed job (§4.2 complexity claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netpack_model::Placement;
+use netpack_topology::{Cluster, ClusterSpec, JobId, ServerId};
+use netpack_waterfill::{estimate, PlacedJob};
+
+/// Build `n_jobs` spanning jobs spread deterministically over the cluster.
+fn jobs(cluster: &Cluster, n_jobs: usize) -> Vec<PlacedJob> {
+    let ns = cluster.num_servers();
+    (0..n_jobs)
+        .map(|i| {
+            let a = (i * 7) % ns;
+            let b = (i * 7 + 3) % ns;
+            let ps = (i * 7 + 5) % ns;
+            let p = Placement::new(
+                vec![(ServerId(a), 2), (ServerId(b), 2)],
+                Some(ServerId(ps)),
+            );
+            PlacedJob::new(JobId(i as u64), cluster, &p)
+        })
+        .collect()
+}
+
+fn bench_waterfill(c: &mut Criterion) {
+    let mut group = c.benchmark_group("waterfill_estimate");
+    group.sample_size(20);
+    for (servers, n_jobs) in [(100usize, 50usize), (400, 100), (1600, 200)] {
+        let racks = 16.min(servers);
+        let cluster = Cluster::new(ClusterSpec {
+            racks,
+            servers_per_rack: servers / racks,
+            ..ClusterSpec::paper_default()
+        });
+        let placed = jobs(&cluster, n_jobs);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{servers}srv_{n_jobs}jobs")),
+            &servers,
+            |b, _| b.iter(|| std::hint::black_box(estimate(&cluster, &placed))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_waterfill);
+criterion_main!(benches);

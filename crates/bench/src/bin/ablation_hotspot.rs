@@ -1,0 +1,76 @@
+//! Ablation — the Equation-1 hot-spot term.
+//!
+//! Equation 1 as printed *subtracts* `C/f_max`, which rewards hot-spot
+//! plans; DESIGN.md reads that as a sign typo and scores the bottleneck
+//! share as a reward instead. This bench compares the two variants (plus
+//! the flat-network/oversubscribed settings where the term matters most).
+
+use netpack_bench::{loaded_trace, repeats, standard_jobs};
+use netpack_flowsim::{SimConfig, Simulation};
+use netpack_metrics::{Summary, TextTable};
+use netpack_placement::{HotSpotTerm, NetPackConfig, NetPackPlacer};
+use netpack_topology::{Cluster, ClusterSpec};
+use netpack_workload::TraceKind;
+
+fn run(spec: &ClusterSpec, hotspot: HotSpotTerm, jobs: usize) -> Summary {
+    let mut jcts = Vec::new();
+    for rep in 0..repeats() {
+        let trace = loaded_trace(TraceKind::Real, spec, jobs, 6000 + rep as u64);
+        let placer = NetPackPlacer::new(NetPackConfig {
+            hotspot,
+            ..NetPackConfig::default()
+        });
+        let result = Simulation::new(
+            Cluster::new(spec.clone()),
+            Box::new(placer),
+            SimConfig::default(),
+        )
+        .run(&trace);
+        jcts.push(result.average_jct_s().expect("jobs finished"));
+    }
+    Summary::of(&jcts)
+}
+
+fn main() {
+    println!(
+        "Ablation — Eq. 1 hot-spot term sign ({} repetitions)\n",
+        repeats()
+    );
+    let mut table = TextTable::new(vec![
+        "cluster",
+        "reward JCT (s)",
+        "literal JCT (s)",
+        "literal / reward",
+    ]);
+    for (label, spec) in [
+        (
+            "flat 4x8",
+            ClusterSpec {
+                racks: 4,
+                servers_per_rack: 8,
+                ..ClusterSpec::paper_default()
+            },
+        ),
+        (
+            "oversub 10:1",
+            ClusterSpec {
+                racks: 4,
+                servers_per_rack: 8,
+                oversubscription: 10.0,
+                ..ClusterSpec::paper_default()
+            },
+        ),
+    ] {
+        let jobs = standard_jobs(&spec);
+        let reward = run(&spec, HotSpotTerm::RewardBottleneckShare, jobs);
+        let literal = run(&spec, HotSpotTerm::PaperLiteral, jobs);
+        table.row(vec![
+            label.to_string(),
+            format!("{:.1} ± {:.1}", reward.mean, reward.std),
+            format!("{:.1} ± {:.1}", literal.mean, literal.std),
+            format!("{:.3}x", literal.mean / reward.mean),
+        ]);
+    }
+    println!("{table}");
+    println!("a ratio above 1.0 supports the typo reading (reward variant wins).");
+}

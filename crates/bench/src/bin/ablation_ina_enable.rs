@@ -1,0 +1,67 @@
+//! Ablation — step 4's selective INA enabling.
+//!
+//! Compares the paper's aggregation-efficiency-ordered selective policy
+//! against enabling INA for every job and disabling it entirely, on a
+//! PAT-scarce cluster where the choice matters (the Fig. 12 discussion
+//! credits selective enabling for part of NetPack's oversubscribed wins).
+
+use netpack_bench::{loaded_trace, repeats, standard_jobs};
+use netpack_flowsim::{SimConfig, Simulation};
+use netpack_metrics::{Summary, TextTable};
+use netpack_placement::{InaPolicy, NetPackConfig, NetPackPlacer};
+use netpack_topology::{Cluster, ClusterSpec};
+use netpack_workload::TraceKind;
+
+fn run(spec: &ClusterSpec, policy: InaPolicy, jobs: usize) -> Summary {
+    let mut jcts = Vec::new();
+    for rep in 0..repeats() {
+        let trace = loaded_trace(TraceKind::Real, spec, jobs, 7000 + rep as u64);
+        let placer = NetPackPlacer::new(NetPackConfig {
+            ina_policy: policy,
+            ..NetPackConfig::default()
+        });
+        let result = Simulation::new(
+            Cluster::new(spec.clone()),
+            Box::new(placer),
+            SimConfig::default(),
+        )
+        .run(&trace);
+        jcts.push(result.average_jct_s().expect("jobs finished"));
+    }
+    Summary::of(&jcts)
+}
+
+fn main() {
+    println!(
+        "Ablation — INA-enable policy ({} repetitions)\n",
+        repeats()
+    );
+    let mut table = TextTable::new(vec![
+        "PAT (Gbps)",
+        "Selective JCT (s)",
+        "AlwaysOn JCT (s)",
+        "AlwaysOff JCT (s)",
+    ]);
+    for pat in [400.0, 100.0, 25.0] {
+        let spec = ClusterSpec {
+            racks: 2,
+            servers_per_rack: 8,
+            pat_gbps: pat,
+            oversubscription: 4.0,
+            ..ClusterSpec::paper_default()
+        };
+        let jobs = standard_jobs(&spec);
+        let selective = run(&spec, InaPolicy::Selective, jobs);
+        let on = run(&spec, InaPolicy::AlwaysOn, jobs);
+        let off = run(&spec, InaPolicy::AlwaysOff, jobs);
+        table.row(vec![
+            format!("{pat:.0}"),
+            format!("{:.1} ± {:.1}", selective.mean, selective.std),
+            format!("{:.1} ± {:.1}", on.mean, on.std),
+            format!("{:.1} ± {:.1}", off.mean, off.std),
+        ]);
+    }
+    println!("{table}");
+    println!("selective should match AlwaysOn when PAT is plentiful and beat both");
+    println!("when switch memory is the scarce resource.");
+}

@@ -1,0 +1,54 @@
+//! Fig. 11 — testbed-scale JCT with limited switch memory.
+//!
+//! Other switch functions steal memory in production, so the paper sweeps
+//! the available PAT down to zero and finds NetPack's advantage *grows*
+//! as memory shrinks (30-92% JCT reduction), because bandwidth becomes
+//! the scarce resource NetPack alone manages.
+
+use netpack_bench::{loaded_trace, placer_by_name, repeats, roster_names, standard_jobs};
+use netpack_flowsim::{SimConfig, Simulation};
+use netpack_metrics::{Summary, TextTable};
+use netpack_topology::{Cluster, ClusterSpec};
+use netpack_workload::TraceKind;
+
+fn main() {
+    let pats = [1000.0, 200.0, 100.0, 50.0, 25.0, 10.0, 0.0];
+    println!(
+        "Fig. 11 — JCT vs available switch PAT (Real trace, {} repetitions)\n",
+        repeats()
+    );
+    let mut table = TextTable::new(
+        std::iter::once("PAT (Gbps)".to_string())
+            .chain(roster_names().iter().map(|s| format!("{s} (norm)")))
+            .collect::<Vec<_>>(),
+    );
+    for &pat in &pats {
+        let spec = ClusterSpec {
+            pat_gbps: pat,
+            ..ClusterSpec::paper_testbed()
+        };
+        let jobs = standard_jobs(&spec);
+        let mut means = Vec::new();
+        for name in roster_names() {
+            let mut jcts = Vec::new();
+            for rep in 0..repeats() {
+                let trace = loaded_trace(TraceKind::Real, &spec, jobs, 4000 + rep as u64);
+                let result = Simulation::new(
+                    Cluster::new(spec.clone()),
+                    placer_by_name(name),
+                    SimConfig::default(),
+                )
+                .run(&trace);
+                jcts.push(result.average_jct_s().expect("jobs finished"));
+            }
+            means.push(Summary::of(&jcts).mean);
+        }
+        let netpack = means[0];
+        let mut row = vec![format!("{pat:.0}")];
+        row.extend(means.iter().map(|m| format!("{:.3}", m / netpack)));
+        table.row(row);
+    }
+    println!("{table}");
+    println!("paper: NetPack's advantage grows as switch memory shrinks (30-92%),");
+    println!("and persists even with PAT = 0 (pure bandwidth/GPU management).");
+}

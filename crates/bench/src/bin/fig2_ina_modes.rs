@@ -1,0 +1,54 @@
+//! Fig. 2 — statistical INA's advantage when switch memory is scarce.
+//!
+//! One training job behind one switch, sweeping the aggregator pool from
+//! scarce to generous under both memory modes. Statistical INA (ATP-style)
+//! degrades gracefully — collided packets fall back to the PS — while
+//! synchronous INA (SwitchML-style) is hard-capped at `region / RTT` and
+//! halts entirely at zero memory.
+
+use netpack_metrics::TextTable;
+use netpack_packetsim::{MemoryMode, PacketJobSpec, PacketSim, SwitchConfig};
+use netpack_topology::JobId;
+
+fn main() {
+    println!("Fig. 2 — job throughput vs switch memory, by INA memory mode\n");
+    let mut table = TextTable::new(vec![
+        "pool slots",
+        "PAT (Gbps)",
+        "statistical (Gbps)",
+        "synchronous (Gbps)",
+    ]);
+    for slots in [0usize, 16, 64, 128, 256, 512, 1024, 2048, 4096] {
+        let run = |mode| {
+            let config = SwitchConfig {
+                pool_slots: slots,
+                mode,
+                ..SwitchConfig::default()
+            };
+            let pat = config.pat_gbps();
+            let mut sim = PacketSim::new(config);
+            sim.add_job(PacketJobSpec {
+                id: JobId(0),
+                fan_in: 2,
+                gradient_gbits: 0.5,
+                compute_time_s: 0.0,
+                iterations: 0,
+                start_s: 0.0,
+                target_gbps: None, // AIMD, as real transports do
+            });
+            let r = sim.run(0.1);
+            (pat, r.per_job[0].mean_goodput_gbps(r.duration_s))
+        };
+        let (pat, stat) = run(MemoryMode::Statistical);
+        let (_, sync) = run(MemoryMode::Synchronous);
+        table.row(vec![
+            slots.to_string(),
+            format!("{pat:.0}"),
+            format!("{stat:.1}"),
+            format!("{sync:.1}"),
+        ]);
+    }
+    println!("{table}");
+    println!("paper: ATP (statistical) >= SwitchML (synchronous) everywhere; the gap");
+    println!("widens as memory shrinks, and synchronous INA halts at zero memory.");
+}

@@ -1,0 +1,52 @@
+//! Fig. 5b — flow counts of the hierarchical aggregation model.
+//!
+//! Reprints the paper's example: a job spanning four racks (two workers
+//! each, PS in rack 1), ToR PATs `A1 < Ap < A3 < A4`; as the per-worker
+//! sending rate sweeps upward, `FC` (flows entering the PS rack) and `FS`
+//! (flows on the ToR→PS link) leap each time the rate crosses a PAT.
+
+use netpack_metrics::TextTable;
+use netpack_model::{single_job_report, JobHierarchy, Placement};
+use netpack_topology::{Cluster, ClusterSpec, RackId, ServerId};
+
+fn main() {
+    let cluster = Cluster::new(ClusterSpec {
+        racks: 4,
+        servers_per_rack: 2,
+        gpus_per_server: 2,
+        ..ClusterSpec::paper_default()
+    });
+    // Two workers per rack on separate servers; PS beside rack 1's workers.
+    let placement = Placement::new(
+        vec![
+            (ServerId(0), 2),
+            (ServerId(2), 2),
+            (ServerId(4), 2),
+            (ServerId(6), 2),
+        ],
+        Some(ServerId(3)),
+    );
+    let hierarchy = JobHierarchy::from_placement(&cluster, &placement).expect("spanning job");
+    let pats = |r: RackId| match r.0 {
+        0 => 10.0, // A1
+        1 => 20.0, // Ap (the PS rack)
+        2 => 30.0, // A3
+        _ => 40.0, // A4
+    };
+
+    println!("Fig. 5b — number of flows vs per-worker sending rate");
+    println!("topology: 4 racks x 2 workers, PS in rack 1; A1=10 < Ap=20 < A3=30 < A4=40 Gbps\n");
+    let mut table = TextTable::new(vec!["rate (Gbps)", "FC", "FS", "agg@root (Gbps)"]);
+    for rate in [2.0, 5.0, 8.0, 12.0, 15.0, 18.0, 22.0, 25.0, 28.0, 32.0, 35.0, 38.0, 42.0, 45.0] {
+        let report = single_job_report(&cluster, &hierarchy, rate, pats);
+        table.row(vec![
+            format!("{rate:.0}"),
+            report.fc.to_string(),
+            report.fs.to_string(),
+            format!("{:.1}", report.switch_aggregated.last().unwrap().1),
+        ]);
+    }
+    println!("{table}");
+    println!("paper series: FC leaps 3→4→5→6 and FS leaps 1→6→7→8 as C crosses each PAT;");
+    println!("(FS jumps when C exceeds Ap; paper reports the same endpoints FC=6, FS=8).");
+}

@@ -1,0 +1,51 @@
+//! Fig. 7 — average job completion time: six placers × three traces, on
+//! the testbed-scale cluster and on the default simulated cluster.
+//!
+//! JCT is normalized to NetPack (= 1.00) within each group, as the paper
+//! plots it; the raw seconds and the std-dev across repetitions are also
+//! printed.
+
+use netpack_bench::{repeats, replay, roster_names, simulator_spec, standard_jobs, testbed_spec};
+use netpack_metrics::TextTable;
+use netpack_workload::TraceKind;
+
+fn main() {
+    println!(
+        "Fig. 7 — normalized average JCT ({} repetitions per point)\n",
+        repeats()
+    );
+    for (label, spec) in [("[Testbed] 5 servers", testbed_spec()), ("[Simulator] 16 racks", simulator_spec())]
+    {
+        let jobs = standard_jobs(&spec);
+        println!("{label}: {} jobs per trace", jobs);
+        let mut table = TextTable::new(vec!["placer", "Real", "Poisson", "Normal", "Real JCT (s)", "±std"]);
+        let mut per_kind: Vec<Vec<f64>> = Vec::new();
+        let mut stds: Vec<f64> = Vec::new();
+        for name in roster_names() {
+            let mut row = Vec::new();
+            let mut real_std = 0.0;
+            for kind in TraceKind::ALL {
+                let point = replay(name, &spec, kind, jobs);
+                row.push(point.jct.mean);
+                if kind == TraceKind::Real {
+                    real_std = point.jct.std;
+                }
+            }
+            per_kind.push(row);
+            stds.push(real_std);
+        }
+        let netpack = per_kind[0].clone();
+        for (i, name) in roster_names().iter().enumerate() {
+            table.row(vec![
+                name.to_string(),
+                format!("{:.3}", per_kind[i][0] / netpack[0]),
+                format!("{:.3}", per_kind[i][1] / netpack[1]),
+                format!("{:.3}", per_kind[i][2] / netpack[2]),
+                format!("{:.1}", per_kind[i][0]),
+                format!("{:.1}", stds[i]),
+            ]);
+        }
+        println!("{table}");
+    }
+    println!("paper: NetPack = 1.0; baselines 1.13-1.45x on the testbed, larger in simulation.");
+}

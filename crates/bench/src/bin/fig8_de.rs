@@ -1,0 +1,42 @@
+//! Fig. 8 — average distribution efficiency: six placers × three traces.
+//!
+//! DE isolates the placement effect from model size:
+//! `DE = (1/|Jobs|) Σ JCT_1gpu / (JCT × gpus)`; a linearly scaling system
+//! with zero network overhead scores 1.0.
+
+use netpack_bench::{repeats, replay, roster_names, simulator_spec, standard_jobs, testbed_spec};
+use netpack_metrics::TextTable;
+use netpack_workload::TraceKind;
+
+fn main() {
+    println!(
+        "Fig. 8 — average distribution efficiency ({} repetitions per point)\n",
+        repeats()
+    );
+    for (label, spec) in [("[Testbed] 5 servers", testbed_spec()), ("[Simulator] 16 racks", simulator_spec())]
+    {
+        let jobs = standard_jobs(&spec);
+        println!("{label}: {} jobs per trace", jobs);
+        let mut table = TextTable::new(vec!["placer", "Real", "Poisson", "Normal", "±std (Real)"]);
+        for name in roster_names() {
+            let mut row = Vec::new();
+            let mut real_std = 0.0;
+            for kind in TraceKind::ALL {
+                let point = replay(name, &spec, kind, jobs);
+                row.push(point.de.mean);
+                if kind == TraceKind::Real {
+                    real_std = point.de.std;
+                }
+            }
+            table.row(vec![
+                name.to_string(),
+                format!("{:.3}", row[0]),
+                format!("{:.3}", row[1]),
+                format!("{:.3}", row[2]),
+                format!("{:.3}", real_std),
+            ]);
+        }
+        println!("{table}");
+    }
+    println!("paper: NetPack improves DE by 13-46% over baselines (up to 2.4x in simulation).");
+}

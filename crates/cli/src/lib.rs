@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! Library half of the NetPack CLI: argument parsing and command
+//! execution, kept separate from `main.rs` so every path is unit-testable.
+//!
+//! Subcommands:
+//!
+//! * `simulate` — replay a synthetic trace under a chosen placer and print
+//!   JCT / distribution efficiency (optionally CSV).
+//! * `place` — place one ad-hoc batch and print the decisions plus the
+//!   estimated steady-state rates.
+//! * `models` — print the calibrated DNN model zoo.
+
+mod args;
+mod commands;
+
+pub use args::{parse, usage, Command, ParseError, PlaceArgs, SimulateArgs, SynthArgs};
+pub use commands::run;
+
+/// Parse and execute a raw argument list, printing to stdout.
+///
+/// # Errors
+///
+/// Returns the user-facing message for any parse or execution failure.
+pub fn run_args<S: AsRef<str>>(args: &[S]) -> Result<(), String> {
+    let command = args::parse(args).map_err(|e| e.to_string())?;
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    commands::run(command, &mut lock)
+}

@@ -1,0 +1,11 @@
+//! `netpack-cli` — command-line front end for the NetPack toolkit.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match netpack_cli::run_args(&args) {
+        Ok(()) => return,
+        Err(msg) => msg,
+    };
+    eprintln!("error: {command}");
+    std::process::exit(2);
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! The NetPack job manager — the control loop of Fig. 4.
+//!
+//! The manager is the cluster-wide component users submit jobs to
+//! (step 1). Each scheduling epoch it batches the pending queue, consults
+//! the network information base (the [`Cluster`]), lets its [`Placer`]
+//! propose placements (steps 2-4), validates and enforces them on the GPU
+//! ledger, and hands the decisions to the caller's enforcement hook
+//! (step 5 — in this reproduction, the flow-level simulator's job table).
+//!
+//! Deferred jobs age: their knapsack value grows every epoch they wait,
+//! which is the paper's starvation-avoidance rule for FindSubset.
+//!
+//! [`Cluster`]: netpack_topology::Cluster
+//! [`Placer`]: netpack_placement::Placer
+//!
+//! # Example
+//!
+//! ```
+//! use netpack_core::{JobManager, ManagerConfig};
+//! use netpack_placement::NetPackPlacer;
+//! use netpack_topology::{Cluster, ClusterSpec, JobId};
+//! use netpack_workload::{Job, ModelKind};
+//!
+//! let cluster = Cluster::new(ClusterSpec::paper_testbed());
+//! let mut manager = JobManager::new(cluster, Box::new(NetPackPlacer::default()),
+//!     ManagerConfig::default());
+//! manager.submit(Job::builder(JobId(0), ModelKind::ResNet50, 4).build());
+//! let decisions = manager.run_epoch();
+//! assert_eq!(decisions.len(), 1);
+//! assert_eq!(manager.running().len(), 1);
+//! manager.finish(JobId(0))?;
+//! assert!(manager.running().is_empty());
+//! # Ok::<(), netpack_core::ManagerError>(())
+//! ```
+
+mod manager;
+
+pub use manager::{JobManager, ManagerConfig, ManagerError};

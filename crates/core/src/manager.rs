@@ -1,0 +1,286 @@
+//! Job-manager implementation.
+
+use netpack_model::Placement;
+use netpack_placement::{Placer, RunningJob};
+use netpack_topology::{Cluster, JobId, TopologyError};
+use netpack_waterfill::{estimate, PlacedJob, SteadyState};
+use netpack_workload::Job;
+use std::error::Error;
+use std::fmt;
+
+/// Manager tunables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ManagerConfig {
+    /// Scheduling period in seconds (the paper batches arrivals and places
+    /// them periodically; job lifetimes are hours, so 60 s is the default).
+    pub epoch_s: f64,
+    /// Additive value bump applied to every job that fails to be selected
+    /// or placed in an epoch — the starvation-avoidance aging of step 1.
+    pub aging_value_bump: f64,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        ManagerConfig {
+            epoch_s: 60.0,
+            aging_value_bump: 0.5,
+        }
+    }
+}
+
+/// Errors from the manager's bookkeeping API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ManagerError {
+    /// [`JobManager::finish`] was called for a job that is not running.
+    UnknownJob(JobId),
+    /// The GPU ledger rejected an operation (internal inconsistency).
+    Ledger(TopologyError),
+}
+
+impl fmt::Display for ManagerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManagerError::UnknownJob(id) => write!(f, "job {id} is not running"),
+            ManagerError::Ledger(e) => write!(f, "gpu ledger error: {e}"),
+        }
+    }
+}
+
+impl Error for ManagerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ManagerError::Ledger(e) => Some(e),
+            ManagerError::UnknownJob(_) => None,
+        }
+    }
+}
+
+impl From<TopologyError> for ManagerError {
+    fn from(e: TopologyError) -> Self {
+        ManagerError::Ledger(e)
+    }
+}
+
+/// The cluster-wide DT job manager (Fig. 4).
+pub struct JobManager {
+    cluster: Cluster,
+    placer: Box<dyn Placer>,
+    config: ManagerConfig,
+    pending: Vec<Job>,
+    running: Vec<(Job, Placement)>,
+}
+
+impl fmt::Debug for JobManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobManager")
+            .field("placer", &self.placer.name())
+            .field("pending", &self.pending.len())
+            .field("running", &self.running.len())
+            .field("free_gpus", &self.cluster.free_gpus())
+            .finish()
+    }
+}
+
+impl JobManager {
+    /// Create a manager over a cluster with the given placement strategy.
+    pub fn new(cluster: Cluster, placer: Box<dyn Placer>, config: ManagerConfig) -> Self {
+        JobManager {
+            cluster,
+            placer,
+            config,
+            pending: Vec::new(),
+            running: Vec::new(),
+        }
+    }
+
+    /// Submit a job to the pending queue (Fig. 4, step 1).
+    pub fn submit(&mut self, job: Job) {
+        self.pending.push(job);
+    }
+
+    /// The scheduling period in seconds.
+    pub fn epoch_s(&self) -> f64 {
+        self.config.epoch_s
+    }
+
+    /// The placer's display name.
+    pub fn placer_name(&self) -> &'static str {
+        self.placer.name()
+    }
+
+    /// The cluster (GPU ledger reflects running jobs).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Jobs currently running, with their placements.
+    pub fn running(&self) -> &[(Job, Placement)] {
+        &self.running
+    }
+
+    /// Jobs waiting to be placed.
+    pub fn pending(&self) -> &[Job] {
+        &self.pending
+    }
+
+    /// Run one scheduling epoch: batch the pending queue, place it,
+    /// enforce the accepted placements on the GPU ledger, and age the
+    /// deferred jobs. Returns the decisions made this epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placer proposes a placement that fails validation —
+    /// that is a bug in the placer, not a runtime condition.
+    pub fn run_epoch(&mut self) -> Vec<(Job, Placement)> {
+        if self.pending.is_empty() {
+            return Vec::new();
+        }
+        let batch = std::mem::take(&mut self.pending);
+        let running_view: Vec<RunningJob> = self
+            .running
+            .iter()
+            .map(|(j, p)| RunningJob {
+                id: j.id,
+                gradient_gbits: j.gradient_gbits(),
+                placement: p.clone(),
+            })
+            .collect();
+        let outcome = self
+            .placer
+            .place_batch(&self.cluster, &running_view, &batch);
+        for (job, placement) in &outcome.placed {
+            placement
+                .validate(&self.cluster, job.gpus)
+                .unwrap_or_else(|e| {
+                    panic!("placer {} proposed invalid placement: {e}", self.placer.name())
+                });
+            for &(s, w) in placement.workers() {
+                self.cluster
+                    .allocate_gpus(s, w)
+                    .expect("validated placement fits the ledger");
+            }
+            self.running.push((job.clone(), placement.clone()));
+        }
+        for mut job in outcome.deferred {
+            job.value += self.config.aging_value_bump;
+            self.pending.push(job);
+        }
+        outcome.placed
+    }
+
+    /// Mark a running job finished, releasing its GPUs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManagerError::UnknownJob`] if the job is not running.
+    pub fn finish(&mut self, id: JobId) -> Result<(), ManagerError> {
+        let idx = self
+            .running
+            .iter()
+            .position(|(j, _)| j.id == id)
+            .ok_or(ManagerError::UnknownJob(id))?;
+        let (_, placement) = self.running.remove(idx);
+        for &(s, w) in placement.workers() {
+            self.cluster.release_gpus(s, w)?;
+        }
+        Ok(())
+    }
+
+    /// Estimate the current steady state of all running jobs.
+    pub fn steady_state(&self) -> SteadyState {
+        let placed: Vec<PlacedJob> = self
+            .running
+            .iter()
+            .map(|(j, p)| PlacedJob::new(j.id, &self.cluster, p))
+            .collect();
+        estimate(&self.cluster, &placed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpack_placement::{GpuBalance, NetPackPlacer};
+    use netpack_topology::ClusterSpec;
+    use netpack_workload::ModelKind;
+
+    fn manager(placer: Box<dyn Placer>) -> JobManager {
+        let cluster = Cluster::new(ClusterSpec {
+            racks: 1,
+            servers_per_rack: 4,
+            gpus_per_server: 4,
+            ..ClusterSpec::paper_default()
+        });
+        JobManager::new(cluster, placer, ManagerConfig::default())
+    }
+
+    fn job(id: u64, gpus: usize) -> Job {
+        Job::builder(JobId(id), ModelKind::Vgg16, gpus).build()
+    }
+
+    #[test]
+    fn epoch_places_and_allocates() {
+        let mut m = manager(Box::new(NetPackPlacer::default()));
+        m.submit(job(0, 4));
+        m.submit(job(1, 8));
+        let placed = m.run_epoch();
+        assert_eq!(placed.len(), 2);
+        assert_eq!(m.cluster().free_gpus(), 4);
+        assert!(m.pending().is_empty());
+    }
+
+    #[test]
+    fn finish_releases_gpus() {
+        let mut m = manager(Box::new(GpuBalance));
+        m.submit(job(0, 4));
+        m.run_epoch();
+        assert_eq!(m.cluster().free_gpus(), 12);
+        m.finish(JobId(0)).unwrap();
+        assert_eq!(m.cluster().free_gpus(), 16);
+        assert_eq!(m.finish(JobId(0)), Err(ManagerError::UnknownJob(JobId(0))));
+    }
+
+    #[test]
+    fn deferred_jobs_age_and_retry() {
+        let mut m = manager(Box::new(NetPackPlacer::default()));
+        // Fill the cluster, then submit one more job than fits.
+        m.submit(job(0, 16));
+        m.run_epoch();
+        m.submit(job(1, 4));
+        let placed = m.run_epoch();
+        assert!(placed.is_empty());
+        assert_eq!(m.pending().len(), 1);
+        let aged = m.pending()[0].value;
+        assert!(aged > 1.0, "value should age, got {aged}");
+        // Finishing the hog frees capacity; the aged job lands next epoch.
+        m.finish(JobId(0)).unwrap();
+        let placed = m.run_epoch();
+        assert_eq!(placed.len(), 1);
+        assert_eq!(placed[0].0.id, JobId(1));
+    }
+
+    #[test]
+    fn empty_epoch_is_a_noop() {
+        let mut m = manager(Box::new(GpuBalance));
+        assert!(m.run_epoch().is_empty());
+    }
+
+    #[test]
+    fn steady_state_reflects_running_jobs() {
+        let mut m = manager(Box::new(GpuBalance));
+        m.submit(job(0, 6));
+        m.run_epoch();
+        let state = m.steady_state();
+        let rate = state.job_rate_gbps(JobId(0)).unwrap();
+        assert!(rate.is_finite() && rate > 0.0);
+    }
+
+    #[test]
+    fn debug_format_is_informative() {
+        let m = manager(Box::new(GpuBalance));
+        let s = format!("{m:?}");
+        assert!(s.contains("GB"));
+        assert!(s.contains("free_gpus"));
+    }
+}

@@ -1,0 +1,514 @@
+//! The event loop of the flow-level simulator.
+
+use crate::{JobOutcome, SimResult, TelemetrySample};
+use netpack_core::{JobManager, ManagerConfig};
+use netpack_placement::Placer;
+use netpack_topology::{Cluster, JobId, LinkId};
+use netpack_waterfill::SteadyState;
+use netpack_workload::{Job, Trace};
+use std::collections::HashMap;
+
+/// Which INA memory-multiplexing mode the cluster's switches run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InaMode {
+    /// Statistical multiplexing (the paper's setting): switch memory is a
+    /// shared pool, estimated by Algorithm 1.
+    #[default]
+    Statistical,
+    /// Synchronous multiplexing (SwitchML-style equal static partitions):
+    /// the comparison substrate for the §2.2 claims at cluster scale.
+    Synchronous,
+}
+
+/// Simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Scheduling configuration forwarded to the job manager.
+    pub manager: ManagerConfig,
+    /// Hard cap on simulated time; jobs still running at the cap are
+    /// reported in [`SimResult::unfinished`]. Default: 90 days.
+    pub max_sim_time_s: f64,
+    /// When set, sample per-link bandwidth usage and per-job rates at
+    /// every event and at this fixed interval (Fig. 15 telemetry).
+    pub telemetry_interval_s: Option<f64>,
+    /// Switch memory-multiplexing mode (default statistical).
+    pub ina_mode: InaMode,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            manager: ManagerConfig::default(),
+            max_sim_time_s: 90.0 * 86_400.0,
+            telemetry_interval_s: None,
+            ina_mode: InaMode::default(),
+        }
+    }
+}
+
+/// Per-running-job fluid state.
+#[derive(Debug, Clone)]
+struct Progress {
+    job: Job,
+    remaining_iters: f64,
+    /// Seconds per iteration under the current steady state.
+    iter_time_s: f64,
+    start_s: f64,
+}
+
+/// A trace-replay simulation over one cluster and one placer.
+pub struct Simulation {
+    cluster: Cluster,
+    placer: Box<dyn Placer>,
+    config: SimConfig,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("placer", &self.placer.name())
+            .field("servers", &self.cluster.num_servers())
+            .finish()
+    }
+}
+
+impl Simulation {
+    /// Build a simulation.
+    pub fn new(cluster: Cluster, placer: Box<dyn Placer>, config: SimConfig) -> Self {
+        Simulation {
+            cluster,
+            placer,
+            config,
+        }
+    }
+
+    /// Replay `trace` to completion (or the time cap) and return the
+    /// per-job outcomes.
+    pub fn run(self, trace: &Trace) -> SimResult {
+        let Simulation {
+            cluster,
+            placer,
+            config,
+        } = self;
+        let epoch = config.manager.epoch_s.max(1e-6);
+        let total_gpus = cluster.total_gpus();
+        let mut manager = JobManager::new(cluster, placer, config.manager);
+        let mut result = SimResult::default();
+
+        // Arrival queue (trace is sorted by arrival time).
+        let mut arrivals: std::collections::VecDeque<Job> = trace
+            .jobs()
+            .iter()
+            .filter(|j| {
+                if j.gpus > total_gpus {
+                    // Unplaceable in this cluster: report, don't deadlock.
+                    result.unfinished.push(j.id);
+                    false
+                } else {
+                    true
+                }
+            })
+            .cloned()
+            .collect();
+
+        let mut running: HashMap<JobId, Progress> = HashMap::new();
+        let mut clock = 0.0f64;
+        let mut last_epoch_run = f64::NEG_INFINITY;
+        let mut state: Option<SteadyState> = None;
+        let mut next_telemetry = 0.0f64;
+
+        loop {
+            // -------- determine the next event time --------
+            let next_arrival = arrivals.front().map(|j| j.arrival_s);
+            let next_epoch = if manager.pending().is_empty() {
+                None
+            } else {
+                // Next grid point at or after the clock, strictly after the
+                // last epoch we already ran.
+                let mut t = (clock / epoch).floor() * epoch;
+                if t < clock - 1e-9 {
+                    t += epoch;
+                }
+                while t <= last_epoch_run + 1e-9 {
+                    t += epoch;
+                }
+                Some(t)
+            };
+            let next_completion = running
+                .values()
+                .map(|p| {
+                    if p.iter_time_s.is_finite() && p.iter_time_s > 0.0 {
+                        clock + p.remaining_iters.max(0.0) * p.iter_time_s
+                    } else {
+                        f64::INFINITY
+                    }
+                })
+                .fold(f64::INFINITY, f64::min);
+            let next_tele = config
+                .telemetry_interval_s
+                .map(|_| next_telemetry)
+                .unwrap_or(f64::INFINITY);
+
+            let mut t = f64::INFINITY;
+            for cand in [
+                next_arrival.unwrap_or(f64::INFINITY),
+                next_epoch.unwrap_or(f64::INFINITY),
+                next_completion,
+                next_tele,
+            ] {
+                t = t.min(cand);
+            }
+            if !t.is_finite() {
+                // No arrivals, no placeable pending work, no finite
+                // completions: drain what's left as unfinished.
+                for id in running.keys() {
+                    result.unfinished.push(*id);
+                }
+                break;
+            }
+            let t = t.clamp(clock, config.max_sim_time_s);
+
+            // -------- advance fluid progress to t --------
+            let dt = t - clock;
+            if dt > 0.0 {
+                let used: usize = running.values().map(|p| p.job.gpus).sum();
+                result.gpu_seconds += used as f64 * dt;
+                for p in running.values_mut() {
+                    if p.iter_time_s.is_finite() && p.iter_time_s > 0.0 {
+                        p.remaining_iters -= dt / p.iter_time_s;
+                    }
+                }
+            }
+            clock = t;
+            if clock >= config.max_sim_time_s {
+                for id in running.keys() {
+                    result.unfinished.push(*id);
+                }
+                break;
+            }
+
+            let mut rates_dirty = false;
+
+            // -------- arrivals --------
+            while arrivals
+                .front()
+                .is_some_and(|j| j.arrival_s <= clock + 1e-9)
+            {
+                manager.submit(arrivals.pop_front().expect("peeked"));
+            }
+
+            // -------- completions --------
+            let done: Vec<JobId> = running
+                .iter()
+                .filter(|(_, p)| p.remaining_iters <= 1e-6)
+                .map(|(&id, _)| id)
+                .collect();
+            for id in done {
+                let p = running.remove(&id).expect("listed above");
+                manager.finish(id).expect("job was running");
+                result.outcomes.push(JobOutcome {
+                    id,
+                    gpus: p.job.gpus,
+                    arrival_s: p.job.arrival_s,
+                    start_s: p.start_s,
+                    finish_s: clock,
+                    serial_time_s: p.job.serial_time_s(),
+                });
+                rates_dirty = true;
+            }
+
+            // -------- scheduling epoch --------
+            let on_epoch_grid = ((clock / epoch).round() * epoch - clock).abs() < 1e-6;
+            if !manager.pending().is_empty() && on_epoch_grid && clock > last_epoch_run + 1e-9 {
+                last_epoch_run = clock;
+                let placed = manager.run_epoch();
+                for (job, _) in placed {
+                    running.insert(
+                        job.id,
+                        Progress {
+                            remaining_iters: job.iterations as f64,
+                            iter_time_s: f64::INFINITY, // set below
+                            start_s: clock,
+                            job,
+                        },
+                    );
+                    rates_dirty = true;
+                }
+            }
+
+            // -------- rate recomputation --------
+            if rates_dirty || state.is_none() {
+                let s = match config.ina_mode {
+                    InaMode::Statistical => manager.steady_state(),
+                    InaMode::Synchronous => {
+                        let cluster = manager.cluster();
+                        let placed: Vec<netpack_waterfill::PlacedJob> = manager
+                            .running()
+                            .iter()
+                            .map(|(j, p)| {
+                                netpack_waterfill::PlacedJob::new(j.id, cluster, p)
+                            })
+                            .collect();
+                        netpack_waterfill::estimate_synchronous(cluster, &placed)
+                    }
+                };
+                for (id, p) in running.iter_mut() {
+                    let comm = s
+                        .comm_time_s(*id, p.job.gradient_gbits())
+                        .unwrap_or(f64::INFINITY);
+                    p.iter_time_s = p.job.compute_time_s() + comm;
+                }
+                state = Some(s);
+            }
+
+            // -------- telemetry --------
+            if let Some(interval) = config.telemetry_interval_s {
+                if clock + 1e-9 >= next_telemetry {
+                    next_telemetry = clock + interval;
+                }
+                if let Some(s) = &state {
+                    let cluster = manager.cluster();
+                    let link_used: Vec<f64> = (0..cluster.num_links())
+                        .map(|i| {
+                            let link = LinkId::from_index(i, cluster);
+                            link.capacity_gbps(cluster) - s.link_residual_gbps(link, cluster)
+                        })
+                        .collect();
+                    let mut job_rates: Vec<(JobId, f64)> = running
+                        .keys()
+                        .filter_map(|&id| {
+                            s.job_rate_gbps(id)
+                                .filter(|r| r.is_finite())
+                                .map(|r| (id, r))
+                        })
+                        .collect();
+                    job_rates.sort_by_key(|&(id, _)| id);
+                    result.telemetry.push(TelemetrySample {
+                        time_s: clock,
+                        link_used_gbps: link_used,
+                        job_rates,
+                    });
+                }
+            }
+
+            // -------- termination --------
+            if arrivals.is_empty() && manager.pending().is_empty() && running.is_empty() {
+                break;
+            }
+        }
+        result.makespan_s = clock;
+        result.outcomes.sort_by(|a, b| a.finish_s.total_cmp(&b.finish_s));
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpack_placement::{GpuBalance, NetPackPlacer};
+    use netpack_topology::ClusterSpec;
+    use netpack_workload::{ModelKind, TraceKind, TraceSpec};
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterSpec {
+            racks: 1,
+            servers_per_rack: 4,
+            gpus_per_server: 4,
+            ..ClusterSpec::paper_default()
+        })
+    }
+
+    fn quick_config() -> SimConfig {
+        SimConfig::default()
+    }
+
+    #[test]
+    fn single_local_job_finishes_in_ideal_time() {
+        let trace = Trace::from_jobs(vec![Job::builder(JobId(0), ModelKind::ResNet50, 4)
+            .iterations(100)
+            .build()]);
+        let sim = Simulation::new(cluster(), Box::new(NetPackPlacer::default()), quick_config());
+        let result = sim.run(&trace);
+        assert_eq!(result.outcomes.len(), 1);
+        let o = &result.outcomes[0];
+        // Placed at t=0 (epoch grid) on one server: no communication.
+        let ideal = 100.0 * ModelKind::ResNet50.compute_time_s();
+        assert!((o.jct_s() - ideal).abs() < 1e-6, "jct {}", o.jct_s());
+        assert!(result.unfinished.is_empty());
+    }
+
+    #[test]
+    fn spanning_job_pays_communication_time() {
+        let trace = Trace::from_jobs(vec![Job::builder(JobId(0), ModelKind::Vgg16, 8)
+            .iterations(50)
+            .build()]);
+        let sim = Simulation::new(cluster(), Box::new(NetPackPlacer::default()), quick_config());
+        let result = sim.run(&trace);
+        let o = &result.outcomes[0];
+        let ideal = 50.0 * ModelKind::Vgg16.compute_time_s();
+        assert!(o.jct_s() > ideal, "communication must cost time");
+        // DE < 1 because of that overhead.
+        assert!(result.distribution_efficiency().unwrap() < 1.0);
+    }
+
+    #[test]
+    fn queued_jobs_wait_for_capacity() {
+        // Two 16-GPU jobs on a 16-GPU cluster: strictly serialized.
+        let mk = |id: u64| {
+            Job::builder(JobId(id), ModelKind::AlexNet, 16)
+                .iterations(100)
+                .build()
+        };
+        let trace = Trace::from_jobs(vec![mk(0), mk(1)]);
+        let sim = Simulation::new(cluster(), Box::new(NetPackPlacer::default()), quick_config());
+        let result = sim.run(&trace);
+        assert_eq!(result.outcomes.len(), 2);
+        let first = result.outcomes.iter().find(|o| o.id == JobId(0)).unwrap();
+        let second = result.outcomes.iter().find(|o| o.id == JobId(1)).unwrap();
+        assert!(second.start_s >= first.finish_s - 1e-6);
+        assert!(second.wait_s() > 0.0);
+    }
+
+    #[test]
+    fn oversized_jobs_are_reported_unfinished() {
+        let trace = Trace::from_jobs(vec![Job::builder(JobId(0), ModelKind::AlexNet, 999).build()]);
+        let sim = Simulation::new(cluster(), Box::new(GpuBalance), quick_config());
+        let result = sim.run(&trace);
+        assert!(result.outcomes.is_empty());
+        assert_eq!(result.unfinished, vec![JobId(0)]);
+    }
+
+    #[test]
+    fn trace_replay_completes_for_all_placers() {
+        let trace = TraceSpec::new(TraceKind::Real, 30)
+            .seed(3)
+            .duration_scale(0.02)
+            .max_gpus(16)
+            .generate();
+        for placer in [
+            Box::new(NetPackPlacer::default()) as Box<dyn Placer>,
+            Box::new(GpuBalance),
+        ] {
+            let sim = Simulation::new(cluster(), placer, quick_config());
+            let result = sim.run(&trace);
+            assert_eq!(result.outcomes.len(), 30, "all jobs finish");
+            assert!(result.unfinished.is_empty());
+            assert!(result.average_jct_s().unwrap() > 0.0);
+            let de = result.distribution_efficiency().unwrap();
+            assert!(de > 0.0 && de <= 1.0 + 1e-9, "de {de}");
+        }
+    }
+
+    #[test]
+    fn telemetry_sampling_produces_snapshots() {
+        let trace = Trace::from_jobs(vec![Job::builder(JobId(0), ModelKind::Vgg16, 8)
+            .iterations(2000)
+            .build()]);
+        let config = SimConfig {
+            telemetry_interval_s: Some(10.0),
+            ..quick_config()
+        };
+        let c = cluster();
+        let n_links = c.num_links();
+        let sim = Simulation::new(c, Box::new(NetPackPlacer::default()), config);
+        let result = sim.run(&trace);
+        assert!(result.telemetry.len() >= 3);
+        for sample in &result.telemetry {
+            assert_eq!(sample.link_used_gbps.len(), n_links);
+            assert!(sample.link_used_gbps.iter().all(|&u| u >= -1e-9));
+        }
+        // While the spanning job runs, some link must be carrying traffic.
+        let busiest: f64 = result
+            .telemetry
+            .iter()
+            .flat_map(|s| s.link_used_gbps.iter().copied())
+            .fold(0.0, f64::max);
+        assert!(busiest > 0.0);
+    }
+
+    #[test]
+    fn makespan_covers_the_last_finish() {
+        let trace = TraceSpec::new(TraceKind::Poisson, 10)
+            .seed(5)
+            .duration_scale(0.05)
+            .max_gpus(8)
+            .generate();
+        let sim = Simulation::new(cluster(), Box::new(GpuBalance), quick_config());
+        let result = sim.run(&trace);
+        let last = result
+            .outcomes
+            .iter()
+            .map(|o| o.finish_s)
+            .fold(0.0, f64::max);
+        assert!(result.makespan_s >= last - 1e-6);
+    }
+}
+
+#[cfg(test)]
+mod ina_mode_tests {
+    use super::*;
+    use netpack_placement::NetPackPlacer;
+    use netpack_topology::ClusterSpec;
+    use netpack_workload::{ModelKind, TraceKind, TraceSpec};
+
+    #[test]
+    fn synchronous_mode_is_never_faster_than_statistical() {
+        let spec = ClusterSpec {
+            racks: 2,
+            servers_per_rack: 4,
+            gpus_per_server: 2,
+            pat_gbps: 50.0,
+            ..ClusterSpec::paper_default()
+        };
+        let trace = TraceSpec::new(TraceKind::Real, 25)
+            .seed(8)
+            .duration_scale(0.05)
+            .max_gpus(8)
+            .generate();
+        let run = |mode| {
+            let config = SimConfig {
+                ina_mode: mode,
+                ..SimConfig::default()
+            };
+            Simulation::new(
+                Cluster::new(spec.clone()),
+                Box::new(NetPackPlacer::default()),
+                config,
+            )
+            .run(&trace)
+            .average_jct_s()
+            .expect("jobs finished")
+        };
+        let stat = run(InaMode::Statistical);
+        let sync = run(InaMode::Synchronous);
+        assert!(
+            stat <= sync + 1e-6,
+            "statistical {stat} should not lose to synchronous {sync}"
+        );
+    }
+
+    #[test]
+    fn synchronous_zero_pat_still_completes_jobs() {
+        let spec = ClusterSpec {
+            racks: 1,
+            servers_per_rack: 4,
+            gpus_per_server: 2,
+            pat_gbps: 0.0,
+            ..ClusterSpec::paper_default()
+        };
+        let jobs = vec![Job::builder(JobId(0), ModelKind::Vgg16, 6)
+            .iterations(20)
+            .build()];
+        let config = SimConfig {
+            ina_mode: InaMode::Synchronous,
+            ..SimConfig::default()
+        };
+        let result = Simulation::new(
+            Cluster::new(spec),
+            Box::new(NetPackPlacer::default()),
+            config,
+        )
+        .run(&Trace::from_jobs(jobs));
+        assert_eq!(result.outcomes.len(), 1);
+    }
+}

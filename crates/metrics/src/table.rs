@@ -1,0 +1,205 @@
+//! Plain-text table rendering shared by every figure binary.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table, used by the `fig*` binaries to print the
+/// same rows/series the paper's figures report.
+///
+/// # Example
+///
+/// ```
+/// use netpack_metrics::TextTable;
+/// let mut t = TextTable::new(vec!["placer", "jct"]);
+/// t.row(vec!["NetPack".to_string(), "1.00".to_string()]);
+/// t.row(vec!["GB".to_string(), "1.45".to_string()]);
+/// let rendered = t.render();
+/// assert!(rendered.contains("NetPack"));
+/// assert!(rendered.lines().count() >= 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Create a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Append a row of formatted floats (4 significant decimals) after a
+    /// leading label.
+    pub fn row_f64(&mut self, label: impl Into<String>, values: &[f64]) -> &mut Self {
+        let mut cells = vec![label.into()];
+        cells.extend(values.iter().map(|v| format!("{v:.4}")));
+        self.row(cells)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as CSV (RFC-4180 quoting for cells containing commas,
+    /// quotes, or newlines), for downstream plotting tools.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use netpack_metrics::TextTable;
+    /// let mut t = TextTable::new(vec!["a", "b"]);
+    /// t.row(vec!["1".into(), "x,y".into()]);
+    /// assert_eq!(t.to_csv(), "a,b\n1,\"x,y\"\n");
+    /// ```
+    pub fn to_csv(&self) -> String {
+        fn cell(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            let line: Vec<String> = cells.iter().map(|c| cell(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        emit(&mut out, &self.header);
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+
+    /// Write the CSV rendering to a file, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from directory creation or the write.
+    pub fn write_csv(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_csv())
+    }
+
+    /// Render to an aligned string with a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<width$}", width = widths[i]);
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["a", "bb"]);
+        t.row(vec!["xxxx".into(), "y".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Header and row share column positions.
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[2].starts_with("xxxx"));
+    }
+
+    #[test]
+    fn row_f64_formats_values() {
+        let mut t = TextTable::new(vec!["label", "v1", "v2"]);
+        t.row_f64("x", &[1.0, 0.25]);
+        let r = t.render();
+        assert!(r.contains("1.0000"));
+        assert!(r.contains("0.2500"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_panic() {
+        let mut t = TextTable::new(vec!["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let mut t = TextTable::new(vec!["k", "v"]);
+        t.row(vec!["plain".into(), "with \"quote\"".into()]);
+        t.row(vec!["multi\nline".into(), "x".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"with \"\"quote\"\"\""));
+        assert!(csv.contains("\"multi\nline\""));
+    }
+
+    #[test]
+    fn csv_round_trips_to_disk() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let dir = std::env::temp_dir().join("netpack-metrics-test");
+        let path = dir.join("out.csv");
+        t.write_csv(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), t.to_csv());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

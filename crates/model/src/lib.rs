@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+//! The statistical-INA aggregation model (paper §4.1, Table 1, Fig. 5).
+//!
+//! This crate answers the question NetPack's estimator and placement
+//! algorithms keep asking: *given a job placement, which links does the job
+//! use, with how many flows, and how much of its traffic do the ToR switches
+//! aggregate?*
+//!
+//! Core concepts:
+//!
+//! * [`Placement`] — where a job's workers and parameter server (PS) sit.
+//! * [`JobHierarchy`] — the two-level aggregation hierarchy a placement
+//!   induces (worker ToR switches → PS ToR switch → PS). INA is deployed on
+//!   ToR switches only, following the paper's observation that multi-path
+//!   ECMP makes core-switch aggregation impractical.
+//! * [`single_job_report`] — the closed-form Table-1 model: per-switch, if
+//!   the switch's Peak Aggregation Throughput (PAT) covers the per-worker
+//!   rate `C`, everything aggregates into one output flow; otherwise `A` is
+//!   aggregated and `(C − A) · Σnᵢ` passes through unaggregated.
+//!
+//! # Example — the paper's Fig. 5 flow-count leaps
+//!
+//! ```
+//! use netpack_topology::{Cluster, ClusterSpec, ServerId};
+//! use netpack_model::{Placement, JobHierarchy, single_job_report};
+//!
+//! let cluster = Cluster::new(ClusterSpec { racks: 4, servers_per_rack: 2,
+//!     ..ClusterSpec::paper_default() });
+//! // Two workers in each of four racks; PS in rack 1.
+//! let placement = Placement::new(
+//!     vec![(ServerId(0), 2), (ServerId(2), 2), (ServerId(4), 2), (ServerId(6), 2)],
+//!     Some(ServerId(3)),
+//! );
+//! let h = JobHierarchy::from_placement(&cluster, &placement).unwrap();
+//! // Tiny sending rate: every switch aggregates -> FS = 1, FC = 3.
+//! let report = single_job_report(&cluster, &h, 1.0, |_| 1000.0);
+//! assert_eq!(report.fs, 1);
+//! assert_eq!(report.fc, 3);
+//! // Huge sending rate: nothing aggregates -> FC = 6, FS = 8.
+//! let report = single_job_report(&cluster, &h, 1000.0, |_| 0.5);
+//! assert_eq!(report.fc, 6);
+//! assert_eq!(report.fs, 8);
+//! ```
+
+mod hierarchy;
+mod placement;
+mod report;
+
+pub use hierarchy::JobHierarchy;
+pub use placement::{Placement, PlacementError};
+pub use report::{single_job_report, AggregationReport};

@@ -1,0 +1,121 @@
+//! Property tests for the aggregation model's conservation laws.
+
+use netpack_model::{single_job_report, JobHierarchy, Placement};
+use netpack_topology::{Cluster, ClusterSpec, LinkId, RackId, ServerId};
+use proptest::prelude::*;
+
+fn arb_setup() -> impl Strategy<Value = (Cluster, Placement)> {
+    (2usize..5, 2usize..5).prop_flat_map(|(racks, spr)| {
+        let cluster = Cluster::new(ClusterSpec {
+            racks,
+            servers_per_rack: spr,
+            gpus_per_server: 4,
+            ..ClusterSpec::paper_default()
+        });
+        let ns = cluster.num_servers();
+        (
+            Just(cluster),
+            proptest::collection::btree_map(0..ns, 1usize..4, 2..5.min(ns + 1)),
+            0..ns,
+            any::<bool>(),
+        )
+            .prop_map(|(cluster, workers, ps, ina)| {
+                let mut p = Placement::new(
+                    workers.into_iter().map(|(s, w)| (ServerId(s), w)).collect(),
+                    Some(ServerId(ps)),
+                );
+                p.set_ina_enabled(ina);
+                (cluster, p)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Flow-count conservation: the flows entering the root switch equal
+    /// the sum of the remote racks' outputs plus the local workers, and
+    /// the root's output equals either 1 (aggregating) or its input.
+    #[test]
+    fn root_flow_conservation(((cluster, placement), agg_mask) in (arb_setup(), any::<u64>())) {
+        let Some(h) = JobHierarchy::from_placement(&cluster, &placement) else {
+            return Ok(());
+        };
+        let agg = |r: RackId| (agg_mask >> (r.0 % 64)) & 1 == 1;
+        let flows = h.link_flows(agg);
+        let find = |l: LinkId| flows.iter().find(|&&(fl, _)| fl == l).map(|&(_, f)| f);
+
+        let root_in = h.incoming_flows(h.ps_rack(), agg).expect("root is in hierarchy");
+        let ps_link = find(LinkId::ServerAccess(h.ps_server())).expect("ps link used");
+        // PS link may also carry local worker flows if colocated.
+        let colocated: u32 = h
+            .worker_servers()
+            .iter()
+            .filter(|&&(s, _)| s == h.ps_server())
+            .map(|&(_, w)| w as u32)
+            .sum();
+        let root_out = ps_link - colocated;
+        if h.ina_enabled() && agg(h.ps_rack()) {
+            prop_assert_eq!(root_out, 1);
+        } else {
+            prop_assert_eq!(root_out, root_in);
+        }
+
+        // Total worker flows on access links must equal total workers.
+        let worker_flows: u32 = h
+            .worker_servers()
+            .iter()
+            .map(|&(s, w)| {
+                let _ = s;
+                w as u32
+            })
+            .sum();
+        prop_assert_eq!(worker_flows as usize, h.total_workers());
+    }
+
+    /// Traffic conservation in the closed-form report: the PS rack uplink
+    /// carries exactly the sum of the remote racks' output traffic, and
+    /// traffic is monotone in the rate.
+    #[test]
+    fn report_traffic_conservation(((cluster, placement), rate) in (arb_setup(), 1.0f64..200.0)) {
+        let Some(h) = JobHierarchy::from_placement(&cluster, &placement) else {
+            return Ok(());
+        };
+        let report = single_job_report(&cluster, &h, rate, |_| 30.0);
+        let remote_total: f64 = h
+            .switches()
+            .iter()
+            .filter(|&&r| r != h.ps_rack())
+            .map(|&r| report.traffic_on(LinkId::RackUplink(r)))
+            .sum();
+        let inbound = report.traffic_on(LinkId::RackUplink(h.ps_rack()));
+        prop_assert!((inbound - remote_total).abs() < 1e-9);
+
+        // Doubling the rate never decreases any link's traffic.
+        let report2 = single_job_report(&cluster, &h, rate * 2.0, |_| 30.0);
+        for &(l, t) in &report.link_traffic {
+            prop_assert!(report2.traffic_on(l) >= t - 1e-9, "traffic fell on {l}");
+        }
+    }
+
+    /// Aggregation never increases traffic: the INA-enabled report carries
+    /// at most the INA-disabled traffic on every link.
+    #[test]
+    fn aggregation_only_reduces_traffic(((cluster, placement), rate) in (arb_setup(), 1.0f64..100.0)) {
+        let Some(h_on) = JobHierarchy::from_placement(&cluster, &placement) else {
+            return Ok(());
+        };
+        let mut h_off = h_on.clone();
+        h_off.set_ina_enabled(false);
+        let on = single_job_report(&cluster, &h_on, rate, |_| 1e6);
+        let off = single_job_report(&cluster, &h_off, rate, |_| 1e6);
+        for &(l, t_off) in &off.link_traffic {
+            prop_assert!(
+                on.traffic_on(l) <= t_off + 1e-9,
+                "INA increased traffic on {l}"
+            );
+        }
+        prop_assert!(on.fs <= off.fs);
+        prop_assert!(on.fc <= off.fc);
+    }
+}

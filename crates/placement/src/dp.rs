@@ -1,0 +1,354 @@
+//! Worker-placement dynamic program (Algorithm 2, `WorkerPlacement`).
+//!
+//! A knapsack-style DP over servers with a two-dimensional weight
+//! `(f, g)`: `V[s][f][g]` is the best total server value achievable by
+//! choosing (all free GPUs of) a subset of the first `s` servers whose
+//! total GPUs is `g` and whose maximum per-server steady-state flow count
+//! is `f`. Tracking `f` is what lets the PS-placement step punish plans
+//! with hot-spot servers.
+
+use netpack_topology::ServerId;
+
+/// Per-server inputs to the DP: the server's weight (its free GPUs, taken
+/// all-or-none), its heuristic value, and its steady-state flow count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerStats {
+    /// Which server this is.
+    pub id: ServerId,
+    /// Free GPUs (the all-or-none weight).
+    pub gpus_free: usize,
+    /// Heuristic value `bw̄ − (C − bw̄)/(flows+1)` (Algorithm 2 line 16).
+    pub value: f64,
+    /// Steady-state flow count on the server's access link.
+    pub flows: u32,
+}
+
+/// One candidate worker plan produced by the DP: a server subset covering
+/// `gpus ≥ demand` GPUs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerPlan {
+    /// Chosen servers (each contributes all of its free GPUs).
+    pub servers: Vec<ServerId>,
+    /// Total GPUs the plan provides (may exceed the demand by up to the
+    /// per-server GPU count; the caller releases the surplus).
+    pub gpus: usize,
+    /// The plan's `f` coordinate: maximum per-server flow count among the
+    /// chosen servers (clamped to the DP's `fs_max`).
+    pub max_flows: u32,
+    /// Total heuristic value of the chosen servers.
+    pub value: f64,
+}
+
+/// The worker-placement dynamic program.
+///
+/// `fs_max` clamps the flow dimension (the paper bounds `FS_max` by a
+/// constant); `track_flows = false` collapses the `f` dimension entirely,
+/// which is the ablation knob for validating the two-dimensional weight.
+///
+/// # Example
+///
+/// ```
+/// use netpack_placement::{ServerStats, WorkerDp};
+/// use netpack_topology::ServerId;
+///
+/// let servers = vec![
+///     ServerStats { id: ServerId(0), gpus_free: 4, value: 10.0, flows: 0 },
+///     ServerStats { id: ServerId(1), gpus_free: 4, value: 5.0, flows: 2 },
+///     ServerStats { id: ServerId(2), gpus_free: 4, value: 8.0, flows: 1 },
+/// ];
+/// let dp = WorkerDp::new(8);
+/// let plans = dp.plans(&servers, 8, 4);
+/// // The best exact-8-GPU plan picks the two most valuable servers.
+/// let best = plans.iter().filter(|p| p.gpus == 8).max_by(|a, b| a.value.total_cmp(&b.value)).unwrap();
+/// assert_eq!(best.servers, vec![ServerId(0), ServerId(2)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkerDp {
+    fs_max: u32,
+    track_flows: bool,
+}
+
+impl WorkerDp {
+    /// DP with the flow dimension clamped to `fs_max` (must be ≤ 254).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fs_max > 254` (the decision table stores predecessor `f`
+    /// coordinates in a `u8`, reserving 255 as "not chosen").
+    pub fn new(fs_max: u32) -> Self {
+        assert!(fs_max <= 254, "fs_max must fit in a u8");
+        WorkerDp {
+            fs_max,
+            track_flows: true,
+        }
+    }
+
+    /// Ablation variant: ignore flow counts (one-dimensional knapsack).
+    pub fn without_flow_dimension() -> Self {
+        WorkerDp {
+            fs_max: 0,
+            track_flows: false,
+        }
+    }
+
+    /// Whether the `f` dimension is tracked.
+    pub fn tracks_flows(&self) -> bool {
+        self.track_flows
+    }
+
+    /// Run the DP and return every feasible plan with
+    /// `demand ≤ gpus ≤ demand + slack`, one per reachable `(f, g)` cell.
+    ///
+    /// Returns an empty vector when no server subset covers the demand.
+    pub fn plans(&self, servers: &[ServerStats], demand: usize, slack: usize) -> Vec<WorkerPlan> {
+        if demand == 0 {
+            return vec![WorkerPlan {
+                servers: Vec::new(),
+                gpus: 0,
+                max_flows: 0,
+                value: 0.0,
+            }];
+        }
+        let nf = if self.track_flows {
+            self.fs_max as usize + 1
+        } else {
+            1
+        };
+        let g_max = demand + slack;
+        let width = g_max + 1;
+        let cells = nf * width;
+        const NOT_CHOSEN: u8 = 0xFF;
+
+        let mut value = vec![f64::NEG_INFINITY; cells];
+        value[0] = 0.0;
+        // decisions[s][f * width + g] = predecessor f if server s chosen.
+        let mut decisions = vec![NOT_CHOSEN; servers.len() * cells];
+        let mut next = vec![f64::NEG_INFINITY; cells];
+
+        for (si, srv) in servers.iter().enumerate() {
+            let w = srv.gpus_free;
+            next.copy_from_slice(&value);
+            if w > 0 && w <= g_max {
+                let clamped = if self.track_flows {
+                    srv.flows.min(self.fs_max) as usize
+                } else {
+                    0
+                };
+                let dec = &mut decisions[si * cells..(si + 1) * cells];
+                for i in 0..nf {
+                    let f = i.max(clamped);
+                    for g in w..=g_max {
+                        let prev = value[i * width + (g - w)];
+                        if prev == f64::NEG_INFINITY {
+                            continue;
+                        }
+                        let cand = prev + srv.value;
+                        let cell = f * width + g;
+                        if cand > next[cell] {
+                            next[cell] = cand;
+                            dec[cell] = i as u8;
+                        }
+                    }
+                }
+            }
+            value.copy_from_slice(&next);
+        }
+
+        // Collect and backtrack every feasible (f, g) cell in range.
+        let mut plans = Vec::new();
+        for f in 0..nf {
+            for g in demand..=g_max {
+                let cell = f * width + g;
+                if value[cell] == f64::NEG_INFINITY {
+                    continue;
+                }
+                let mut chosen = Vec::new();
+                let (mut cf, mut cg) = (f, g);
+                for si in (0..servers.len()).rev() {
+                    let d = decisions[si * cells + cf * width + cg];
+                    if d != NOT_CHOSEN {
+                        chosen.push(servers[si].id);
+                        cg -= servers[si].gpus_free;
+                        cf = d as usize;
+                    }
+                }
+                chosen.reverse();
+                plans.push(WorkerPlan {
+                    servers: chosen,
+                    gpus: g,
+                    max_flows: f as u32,
+                    value: value[cell],
+                });
+            }
+        }
+        plans
+    }
+}
+
+impl Default for WorkerDp {
+    fn default() -> Self {
+        WorkerDp::new(16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn srv(id: usize, gpus: usize, value: f64, flows: u32) -> ServerStats {
+        ServerStats {
+            id: ServerId(id),
+            gpus_free: gpus,
+            value,
+            flows,
+        }
+    }
+
+    fn best_exact(plans: &[WorkerPlan], gpus: usize) -> Option<&WorkerPlan> {
+        plans
+            .iter()
+            .filter(|p| p.gpus == gpus)
+            .max_by(|a, b| a.value.total_cmp(&b.value))
+    }
+
+    #[test]
+    fn picks_highest_value_subset_for_exact_demand() {
+        let servers = vec![
+            srv(0, 2, 3.0, 0),
+            srv(1, 2, 9.0, 0),
+            srv(2, 2, 5.0, 0),
+            srv(3, 2, 1.0, 0),
+        ];
+        let plans = WorkerDp::new(8).plans(&servers, 4, 0);
+        let best = best_exact(&plans, 4).unwrap();
+        assert_eq!(best.servers, vec![ServerId(1), ServerId(2)]);
+        assert_eq!(best.value, 14.0);
+    }
+
+    #[test]
+    fn overshoot_plans_cover_awkward_demands() {
+        // Servers hold 4 GPUs each; demand 6 is only coverable with 8.
+        let servers = vec![srv(0, 4, 1.0, 0), srv(1, 4, 2.0, 0)];
+        let plans = WorkerDp::new(8).plans(&servers, 6, 4);
+        assert!(best_exact(&plans, 6).is_none());
+        let best = best_exact(&plans, 8).unwrap();
+        assert_eq!(best.gpus, 8);
+        assert_eq!(best.servers.len(), 2);
+    }
+
+    #[test]
+    fn infeasible_demand_returns_no_plans() {
+        let servers = vec![srv(0, 2, 1.0, 0)];
+        assert!(WorkerDp::new(8).plans(&servers, 4, 2).is_empty());
+    }
+
+    #[test]
+    fn f_dimension_separates_hot_and_cold_plans() {
+        // Two ways to get 4 GPUs: hot server (8 flows, value 10) or two
+        // cold servers (0 flows, value 4 each).
+        let servers = vec![srv(0, 4, 10.0, 8), srv(1, 2, 4.0, 0), srv(2, 2, 4.0, 0)];
+        let plans = WorkerDp::new(16).plans(&servers, 4, 0);
+        let hot = plans.iter().find(|p| p.max_flows == 8).unwrap();
+        let cold = plans.iter().find(|p| p.max_flows == 0).unwrap();
+        assert_eq!(hot.servers, vec![ServerId(0)]);
+        assert_eq!(cold.servers, vec![ServerId(1), ServerId(2)]);
+        assert_eq!(cold.value, 8.0);
+        // Both survive so the PS step can weigh value against hot-spots.
+    }
+
+    #[test]
+    fn flows_clamp_to_fs_max() {
+        let servers = vec![srv(0, 2, 1.0, 100)];
+        let plans = WorkerDp::new(4).plans(&servers, 2, 0);
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].max_flows, 4);
+    }
+
+    #[test]
+    fn without_flow_dimension_collapses_to_plain_knapsack() {
+        let servers = vec![srv(0, 2, 1.0, 9), srv(1, 2, 5.0, 0)];
+        let dp = WorkerDp::without_flow_dimension();
+        assert!(!dp.tracks_flows());
+        let plans = dp.plans(&servers, 2, 0);
+        // A single (f=0, g=2) cell holding the better server.
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].servers, vec![ServerId(1)]);
+        assert_eq!(plans[0].max_flows, 0);
+    }
+
+    #[test]
+    fn zero_demand_yields_the_empty_plan() {
+        let plans = WorkerDp::new(8).plans(&[], 0, 4);
+        assert_eq!(plans.len(), 1);
+        assert!(plans[0].servers.is_empty());
+    }
+
+    #[test]
+    fn negative_values_still_cover_demand() {
+        let servers = vec![srv(0, 2, -5.0, 0), srv(1, 2, -1.0, 0)];
+        let plans = WorkerDp::new(8).plans(&servers, 4, 0);
+        let best = best_exact(&plans, 4).unwrap();
+        assert_eq!(best.value, -6.0);
+        assert_eq!(best.servers.len(), 2);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        let mut state = 42u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..100 {
+            let n = (next() % 6 + 1) as usize;
+            let servers: Vec<ServerStats> = (0..n)
+                .map(|i| {
+                    srv(
+                        i,
+                        (next() % 4 + 1) as usize,
+                        (next() % 20) as f64 - 5.0,
+                        (next() % 6) as u32,
+                    )
+                })
+                .collect();
+            let demand = (next() % 8 + 1) as usize;
+            let slack = 4;
+            let plans = WorkerDp::new(8).plans(&servers, demand, slack);
+            // Brute force: every subset; compare best value per (f, g).
+            let mut best: std::collections::HashMap<(u32, usize), f64> =
+                std::collections::HashMap::new();
+            for mask in 0u32..(1 << n) {
+                let (mut g, mut v, mut f) = (0usize, 0.0f64, 0u32);
+                for (i, s) in servers.iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        g += s.gpus_free;
+                        v += s.value;
+                        f = f.max(s.flows.min(8));
+                    }
+                }
+                if g >= demand && g <= demand + slack {
+                    let e = best.entry((f, g)).or_insert(f64::NEG_INFINITY);
+                    *e = e.max(v);
+                }
+            }
+            assert_eq!(plans.len(), best.len(), "cell count mismatch");
+            for p in &plans {
+                let b = best[&(p.max_flows, p.gpus)];
+                assert!(
+                    (p.value - b).abs() < 1e-9,
+                    "plan value {} vs brute {b}",
+                    p.value
+                );
+                // The reported server set must reproduce the coordinates.
+                let g: usize = p
+                    .servers
+                    .iter()
+                    .map(|id| servers.iter().find(|s| s.id == *id).unwrap().gpus_free)
+                    .sum();
+                assert_eq!(g, p.gpus);
+            }
+        }
+    }
+}

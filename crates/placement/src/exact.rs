@@ -1,0 +1,252 @@
+//! Exact joint placement by exhaustive search — the optimality reference
+//! standing in for the paper's Gurobi MIP (§5.1).
+//!
+//! The paper formulates batch placement as a MIP (Table 3) whose objective
+//! is the total communication time `Σ_j d^(j) / v^(j)` and reports that
+//! Gurobi needs hours at scale. This module explores the same decision
+//! space — per-server worker counts, PS location, per-job INA flag — by
+//! depth-first enumeration and evaluates each complete assignment with the
+//! water-filling steady-state model. It is exact with respect to our
+//! evaluation model and only feasible at toy scale, which is precisely its
+//! role: measuring the DP heuristic's optimality gap, and demonstrating
+//! the exponential blow-up that motivates the DP.
+
+use crate::placer::{BatchOutcome, Placer, RunningJob};
+use netpack_model::Placement;
+use netpack_topology::{Cluster, ServerId};
+use netpack_workload::Job;
+
+/// Exhaustive-search placer for toy instances.
+#[derive(Debug, Clone)]
+pub struct ExactPlacer {
+    max_evaluations: u64,
+    enumerate_ina: bool,
+    evaluations: u64,
+}
+
+impl ExactPlacer {
+    /// Exact placer that gives up (deferring the whole batch) after
+    /// `max_evaluations` candidate assignments.
+    pub fn new(max_evaluations: u64) -> Self {
+        ExactPlacer {
+            max_evaluations,
+            enumerate_ina: false,
+            evaluations: 0,
+        }
+    }
+
+    /// Also branch on each job's INA flag (doubles the space per job;
+    /// off by default because INA-on dominates whenever PAT is plentiful).
+    pub fn enumerate_ina(mut self, yes: bool) -> Self {
+        self.enumerate_ina = yes;
+        self
+    }
+
+    /// Number of complete assignments evaluated by the last
+    /// [`Placer::place_batch`] call.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Enumerate worker distributions of `gpus` workers over servers with
+    /// the scratch cluster's free capacities.
+    fn worker_splits(cluster: &Cluster, gpus: usize) -> Vec<Vec<(ServerId, usize)>> {
+        let caps: Vec<usize> = cluster.servers().iter().map(|s| s.gpus_free()).collect();
+        let mut out = Vec::new();
+        let mut current: Vec<(ServerId, usize)> = Vec::new();
+        fn rec(
+            caps: &[usize],
+            idx: usize,
+            remaining: usize,
+            current: &mut Vec<(ServerId, usize)>,
+            out: &mut Vec<Vec<(ServerId, usize)>>,
+        ) {
+            if remaining == 0 {
+                out.push(current.clone());
+                return;
+            }
+            if idx == caps.len() {
+                return;
+            }
+            // Feasibility prune: the rest must be able to cover remaining.
+            let rest: usize = caps[idx..].iter().sum();
+            if rest < remaining {
+                return;
+            }
+            for take in (0..=caps[idx].min(remaining)).rev() {
+                if take > 0 {
+                    current.push((ServerId(idx), take));
+                }
+                rec(caps, idx + 1, remaining - take, current, out);
+                if take > 0 {
+                    current.pop();
+                }
+            }
+        }
+        rec(&caps, 0, gpus, &mut current, &mut out);
+        out
+    }
+
+    fn search(
+        &mut self,
+        cluster: &mut Cluster,
+        running: &[RunningJob],
+        batch: &[Job],
+        idx: usize,
+        current: &mut Vec<(Job, Placement)>,
+        best: &mut Option<(f64, Vec<(Job, Placement)>)>,
+    ) {
+        if self.evaluations >= self.max_evaluations {
+            return;
+        }
+        if idx == batch.len() {
+            self.evaluations += 1;
+            let obj = crate::placer::batch_comm_time_s(cluster, running, current);
+            if best.as_ref().is_none_or(|(b, _)| obj < *b) {
+                *best = Some((obj, current.clone()));
+            }
+            return;
+        }
+        let job = &batch[idx];
+        for split in Self::worker_splits(cluster, job.gpus) {
+            // PS candidates: every server for spanning placements, or the
+            // lone worker server / no PS for single-server placements.
+            let ps_candidates: Vec<Option<ServerId>> = if split.len() == 1 {
+                vec![None]
+            } else {
+                (0..cluster.num_servers()).map(|s| Some(ServerId(s))).collect()
+            };
+            for ps in ps_candidates {
+                let ina_options: &[bool] = if self.enumerate_ina && split.len() > 1 {
+                    &[true, false]
+                } else {
+                    &[true]
+                };
+                for &ina in ina_options {
+                    let mut placement = Placement::new(split.clone(), ps);
+                    placement.set_ina_enabled(ina);
+                    for &(s, w) in placement.workers() {
+                        cluster.allocate_gpus(s, w).expect("split within caps");
+                    }
+                    current.push((job.clone(), placement));
+                    self.search(cluster, running, batch, idx + 1, current, best);
+                    let (_, placement) = current.pop().expect("pushed above");
+                    for &(s, w) in placement.workers() {
+                        cluster.release_gpus(s, w).expect("was allocated");
+                    }
+                    if self.evaluations >= self.max_evaluations {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Default for ExactPlacer {
+    fn default() -> Self {
+        ExactPlacer::new(2_000_000)
+    }
+}
+
+impl Placer for ExactPlacer {
+    fn name(&self) -> &'static str {
+        "Exact"
+    }
+
+    fn place_batch(
+        &mut self,
+        cluster: &Cluster,
+        running: &[RunningJob],
+        batch: &[Job],
+    ) -> BatchOutcome {
+        self.evaluations = 0;
+        let mut scratch = cluster.clone();
+        let mut best: Option<(f64, Vec<(Job, Placement)>)> = None;
+        let mut current = Vec::new();
+        self.search(&mut scratch, running, batch, 0, &mut current, &mut best);
+        match best {
+            Some((_, placed)) => BatchOutcome {
+                placed,
+                deferred: Vec::new(),
+            },
+            None => BatchOutcome {
+                placed: Vec::new(),
+                deferred: batch.to_vec(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpack_topology::{ClusterSpec, JobId};
+    use netpack_workload::ModelKind;
+
+    fn cluster(servers: usize, gpus: usize) -> Cluster {
+        Cluster::new(ClusterSpec {
+            racks: 1,
+            servers_per_rack: servers,
+            gpus_per_server: gpus,
+            ..ClusterSpec::paper_default()
+        })
+    }
+
+    fn job(id: u64, gpus: usize) -> Job {
+        Job::builder(JobId(id), ModelKind::Vgg16, gpus).build()
+    }
+
+    #[test]
+    fn exact_prefers_local_placement_when_possible() {
+        let c = cluster(3, 4);
+        let mut p = ExactPlacer::default();
+        let out = p.place_batch(&c, &[], &[job(0, 4)]);
+        assert_eq!(out.placed.len(), 1);
+        // A local placement has zero communication time: strictly optimal.
+        assert!(out.placed[0].1.is_local());
+        assert!(p.evaluations() > 0);
+    }
+
+    #[test]
+    fn exact_separates_two_jobs_onto_disjoint_bottlenecks() {
+        let c = cluster(4, 1);
+        let mut p = ExactPlacer::default();
+        // Two 2-GPU jobs on four 1-GPU servers: each must span two servers
+        // with a PS; the optimum avoids stacking both PSes on one link.
+        let out = p.place_batch(&c, &[], &[job(0, 2), job(1, 2)]);
+        assert_eq!(out.placed.len(), 2);
+        let ps0 = out.placed[0].1.ps().unwrap();
+        let ps1 = out.placed[1].1.ps().unwrap();
+        assert_ne!(ps0, ps1, "optimal plan spreads PS load");
+        for (j, placement) in &out.placed {
+            placement.validate(&c, j.gpus).unwrap();
+        }
+    }
+
+    #[test]
+    fn worker_splits_enumerate_all_compositions() {
+        let c = cluster(3, 2);
+        let splits = ExactPlacer::worker_splits(&c, 2);
+        // Compositions of 2 over caps (2,2,2): (2),(1,1) over 3 servers =
+        // 3 singles + 3 pairs = 6.
+        assert_eq!(splits.len(), 6);
+    }
+
+    #[test]
+    fn evaluation_budget_is_respected() {
+        let c = cluster(4, 2);
+        let mut p = ExactPlacer::new(10);
+        let _ = p.place_batch(&c, &[], &[job(0, 2), job(1, 2)]);
+        assert!(p.evaluations() <= 10);
+    }
+
+    #[test]
+    fn infeasible_batch_is_deferred() {
+        let c = cluster(2, 1);
+        let mut p = ExactPlacer::default();
+        let out = p.place_batch(&c, &[], &[job(0, 5)]);
+        assert!(out.placed.is_empty());
+        assert_eq!(out.deferred.len(), 1);
+    }
+}

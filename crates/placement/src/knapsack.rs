@@ -1,0 +1,167 @@
+//! Job-subset selection (Algorithm 2, step 1): a 0/1 knapsack over GPUs.
+
+use netpack_workload::Job;
+
+/// Select the subset of `batch` to place this epoch: a 0/1 knapsack with
+/// the cluster's free GPUs as capacity, each job weighing its GPU demand
+/// and valued at its (starvation-aged) user value.
+///
+/// Returns indices into `batch`, in ascending order. Jobs demanding more
+/// GPUs than `free_gpus` can never fit and are excluded outright.
+///
+/// The DP is the standard `O(|Jobs| × |GPUs|)` table the paper cites
+/// (Pisinger); values are compared with a deterministic tie-break toward
+/// fewer GPUs used so results are stable across runs.
+///
+/// # Example
+///
+/// ```
+/// use netpack_placement::select_job_subset;
+/// use netpack_workload::{Job, ModelKind};
+/// use netpack_topology::JobId;
+///
+/// let batch = vec![
+///     Job::builder(JobId(0), ModelKind::Vgg16, 6).value(1.0).build(),
+///     Job::builder(JobId(1), ModelKind::Vgg16, 4).value(2.0).build(),
+///     Job::builder(JobId(2), ModelKind::Vgg16, 4).value(2.0).build(),
+/// ];
+/// // 8 free GPUs: the two high-value 4-GPU jobs beat the 6-GPU job.
+/// assert_eq!(select_job_subset(&batch, 8), vec![1, 2]);
+/// ```
+pub fn select_job_subset(batch: &[Job], free_gpus: usize) -> Vec<usize> {
+    if batch.is_empty() || free_gpus == 0 {
+        return Vec::new();
+    }
+    let eligible: Vec<usize> = (0..batch.len())
+        .filter(|&i| batch[i].gpus <= free_gpus)
+        .collect();
+    if eligible.is_empty() {
+        return Vec::new();
+    }
+    // value[w]: best total value using capacity exactly <= w.
+    // choice[item][w]: whether eligible[item] is taken at capacity w.
+    let n = eligible.len();
+    let cap = free_gpus;
+    let mut value = vec![0.0f64; cap + 1];
+    let mut used = vec![0usize; cap + 1];
+    let mut choice = vec![false; n * (cap + 1)];
+    for (it, &bi) in eligible.iter().enumerate() {
+        let w = batch[bi].gpus;
+        let v = batch[bi].value;
+        for c in (w..=cap).rev() {
+            let cand = value[c - w] + v;
+            let cand_used = used[c - w] + w;
+            let better = cand > value[c] + 1e-12
+                || ((cand - value[c]).abs() <= 1e-12 && cand_used < used[c]);
+            if better {
+                value[c] = cand;
+                used[c] = cand_used;
+                choice[it * (cap + 1) + c] = true;
+            }
+        }
+    }
+    // Backtrack from the full capacity.
+    let mut c = cap;
+    let mut picked = Vec::new();
+    for it in (0..n).rev() {
+        if choice[it * (cap + 1) + c] {
+            picked.push(eligible[it]);
+            c -= batch[eligible[it]].gpus;
+        }
+    }
+    picked.sort_unstable();
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpack_topology::JobId;
+    use netpack_workload::ModelKind;
+
+    fn job(id: u64, gpus: usize, value: f64) -> Job {
+        Job::builder(JobId(id), ModelKind::AlexNet, gpus)
+            .value(value)
+            .build()
+    }
+
+    #[test]
+    fn picks_the_max_value_subset() {
+        let batch = vec![job(0, 3, 4.0), job(1, 4, 5.0), job(2, 2, 3.0)];
+        // Capacity 5: {0,2} worth 7 beats {1} worth 5.
+        assert_eq!(select_job_subset(&batch, 5), vec![0, 2]);
+    }
+
+    #[test]
+    fn oversized_jobs_are_excluded() {
+        let batch = vec![job(0, 10, 100.0), job(1, 2, 1.0)];
+        assert_eq!(select_job_subset(&batch, 4), vec![1]);
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_subsets() {
+        assert!(select_job_subset(&[], 8).is_empty());
+        assert!(select_job_subset(&[job(0, 1, 1.0)], 0).is_empty());
+    }
+
+    #[test]
+    fn everything_fits_when_capacity_allows() {
+        let batch = vec![job(0, 2, 1.0), job(1, 2, 1.0), job(2, 2, 1.0)];
+        assert_eq!(select_job_subset(&batch, 6), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ties_prefer_fewer_gpus() {
+        // Same value, capacity for either; the 2-GPU job wins the tie.
+        let batch = vec![job(0, 4, 2.0), job(1, 2, 2.0)];
+        let picked = select_job_subset(&batch, 4);
+        assert_eq!(picked, vec![1]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_instances() {
+        // Deterministic pseudo-random small instances.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _case in 0..200 {
+            let n = (next() % 7 + 1) as usize;
+            let cap = (next() % 12 + 1) as usize;
+            let batch: Vec<Job> = (0..n)
+                .map(|i| {
+                    job(
+                        i as u64,
+                        (next() % 6 + 1) as usize,
+                        ((next() % 9) + 1) as f64,
+                    )
+                })
+                .collect();
+            let picked = select_job_subset(&batch, cap);
+            let picked_value: f64 = picked.iter().map(|&i| batch[i].value).sum();
+            let picked_weight: usize = picked.iter().map(|&i| batch[i].gpus).sum();
+            assert!(picked_weight <= cap, "over capacity");
+            // Brute force best value.
+            let mut best = 0.0f64;
+            for mask in 0u32..(1 << n) {
+                let (mut w, mut v) = (0usize, 0.0f64);
+                for (i, job) in batch.iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        w += job.gpus;
+                        v += job.value;
+                    }
+                }
+                if w <= cap {
+                    best = best.max(v);
+                }
+            }
+            assert!(
+                (picked_value - best).abs() < 1e-9,
+                "dp {picked_value} vs brute {best}"
+            );
+        }
+    }
+}

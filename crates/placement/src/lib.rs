@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+//! Job-placement algorithms: NetPack (Algorithm 2), six baselines, and an
+//! exact reference solver.
+//!
+//! Every placer answers the same question: *given the cluster's current GPU
+//! ledger and the jobs already running, where should this batch of jobs
+//! go?* Placers only propose; the job manager (in `netpack-core`) owns the
+//! GPU ledger and applies the proposals.
+//!
+//! Implemented placers:
+//!
+//! * [`NetPackPlacer`] — the paper's contribution: knapsack job-subset
+//!   selection, a `V[s][f][g]` dynamic program over server subsets valued
+//!   by water-filled residual bandwidth, PS placement with a hot-spot term,
+//!   and selective INA enabling by aggregation efficiency.
+//! * [`GpuBalance`], [`FlowBalance`], [`LeastFragmentation`] — the paper's
+//!   three heuristic baselines (§6.1).
+//! * [`OptimusLike`], [`TetrisLike`] — the two prior-art strategies the
+//!   paper compares against.
+//! * [`Comb`] — the naive multi-resource combination of §6.4 (Fig. 13).
+//! * [`RandomPlacer`] — a sanity floor.
+//! * [`ExactPlacer`] — exhaustive search over the Table-3 decision space,
+//!   feasible only at toy scale; stands in for the paper's Gurobi MIP.
+//!
+//! # Example
+//!
+//! ```
+//! use netpack_topology::{Cluster, ClusterSpec, JobId};
+//! use netpack_workload::{Job, ModelKind};
+//! use netpack_placement::{NetPackPlacer, Placer};
+//!
+//! let cluster = Cluster::new(ClusterSpec::paper_testbed());
+//! let job = Job::builder(JobId(0), ModelKind::Vgg16, 4).build();
+//! let mut placer = NetPackPlacer::default();
+//! let outcome = placer.place_batch(&cluster, &[], std::slice::from_ref(&job));
+//! assert_eq!(outcome.placed.len(), 1);
+//! assert!(outcome.deferred.is_empty());
+//! ```
+
+mod baselines;
+mod dp;
+mod exact;
+mod knapsack;
+mod netpack;
+mod placer;
+mod prior;
+
+pub use baselines::{FlowBalance, GpuBalance, LeastFragmentation, RandomPlacer};
+pub use dp::{ServerStats, WorkerDp, WorkerPlan};
+pub use exact::ExactPlacer;
+pub use knapsack::select_job_subset;
+pub use netpack::{HotSpotTerm, InaPolicy, NetPackConfig, NetPackPlacer};
+pub use placer::{batch_comm_time_s, BatchOutcome, Placer, RunningJob};
+pub use prior::{Comb, OptimusLike, TetrisLike};

@@ -1,0 +1,724 @@
+//! The NetPack placer — the paper's Algorithm 2.
+
+use crate::dp::{ServerStats, WorkerDp};
+use crate::knapsack::select_job_subset;
+use crate::placer::{BatchOutcome, Placer, RunningJob};
+use netpack_model::{JobHierarchy, Placement};
+use netpack_topology::{Cluster, RackId, ServerId};
+use netpack_waterfill::{estimate, PlacedJob, SteadyState};
+use netpack_workload::Job;
+
+/// How the PS-placement score treats the hot-spot term of Equation 1.
+///
+/// Equation 1 as printed *subtracts* `C/f_max`, which rewards hot-spots —
+/// the opposite of the paper's stated intent ("a penalty to punish plans
+/// with hot-spot servers", and in §5.2's oversubscription discussion "the
+/// new penalty prevents the algorithm from placing jobs across multiple
+/// racks"). We read the sign as a typo; both variants are implemented and
+/// the `ablation_hotspot` bench compares them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HotSpotTerm {
+    /// Add the job's expected bottleneck share `C/(f_max+1)` (and, across
+    /// oversubscribed racks, `min(C_rack/(FC_r + n_r), C/(f_max+1))`) as a
+    /// reward — the typo-corrected reading, and the default.
+    #[default]
+    RewardBottleneckShare,
+    /// Subtract `C/f_max` exactly as Equation 1 prints it.
+    PaperLiteral,
+}
+
+/// How step 4 (selective INA enabling) is applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InaPolicy {
+    /// The paper's policy: sort placed jobs by aggregation efficiency and
+    /// enable INA in that order until switch memory runs out.
+    #[default]
+    Selective,
+    /// Enable INA for every job (what the baselines do implicitly).
+    AlwaysOn,
+    /// Disable INA for every placed job.
+    AlwaysOff,
+}
+
+/// Tunable knobs of [`NetPackPlacer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetPackConfig {
+    /// Hot-spot term variant (see [`HotSpotTerm`]).
+    pub hotspot: HotSpotTerm,
+    /// INA-enable policy (see [`InaPolicy`]).
+    pub ina_policy: InaPolicy,
+    /// Clamp for the DP's flow dimension (`FS_max`).
+    pub fs_max: u32,
+    /// Track the two-dimensional `(f, g)` knapsack weight. Disabling this
+    /// is the ablation that collapses the DP to a plain GPU knapsack.
+    pub flow_dimension: bool,
+    /// Parameter servers per spanning job (gradient shards, §4.1). The
+    /// paper's Algorithm 2 places one PS; values above 1 shard the
+    /// gradient over the k best-scoring PS locations, relieving PS-side
+    /// fan-in bottlenecks at the cost of extra flows.
+    pub pses_per_job: usize,
+}
+
+impl Default for NetPackConfig {
+    fn default() -> Self {
+        NetPackConfig {
+            hotspot: HotSpotTerm::default(),
+            ina_policy: InaPolicy::default(),
+            fs_max: 16,
+            flow_dimension: true,
+            pses_per_job: 1,
+        }
+    }
+}
+
+/// The paper's job-placement system (Algorithm 2):
+///
+/// 1. **FindSubset** — knapsack over free GPUs, maximizing aged job value;
+/// 2. **WorkerPlacement** — `V[s][f][g]` DP over servers valued by their
+///    water-filled residual bandwidth;
+/// 3. **PSPlacement** — exhaustive scoring of every (plan, PS server) pair
+///    with the hot-spot / oversubscription term;
+/// 4. **INAEnable** — aggregation-efficiency-ordered selective enabling.
+///
+/// See the crate-level example for basic usage.
+#[derive(Debug, Clone, Default)]
+pub struct NetPackPlacer {
+    config: NetPackConfig,
+}
+
+impl NetPackPlacer {
+    /// Placer with explicit configuration.
+    pub fn new(config: NetPackConfig) -> Self {
+        NetPackPlacer { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &NetPackConfig {
+        &self.config
+    }
+
+    /// Heuristic value of a server (Algorithm 2 line 16):
+    /// `bw̄ − (C − bw̄)/(flows + 1)` — its residual bandwidth minus the
+    /// throughput loss the new job would inflict on the flows already there.
+    fn server_value(capacity: f64, avail: f64, flows: u32) -> f64 {
+        avail - (capacity - avail) / (f64::from(flows) + 1.0)
+    }
+
+    /// Place the workers and PS of one job. Requires a fresh steady-state
+    /// estimate of the scratch cluster. Returns `None` if the job cannot
+    /// be covered by the free GPUs.
+    fn place_one(
+        &self,
+        scratch: &Cluster,
+        state: &SteadyState,
+        job: &Job,
+    ) -> Option<Placement> {
+        // Single-server shortcut (lines 4-6): prefer the tightest fit,
+        // breaking ties toward the most residual bandwidth.
+        let single = scratch
+            .servers()
+            .iter()
+            .filter(|s| s.gpus_free() >= job.gpus)
+            .min_by(|a, b| {
+                (a.gpus_free() - job.gpus)
+                    .cmp(&(b.gpus_free() - job.gpus))
+                    .then_with(|| {
+                        state
+                            .server_available_gbps(b.id())
+                            .total_cmp(&state.server_available_gbps(a.id()))
+                    })
+            });
+        if let Some(server) = single {
+            return Some(Placement::local(server.id(), job.gpus));
+        }
+
+        // WorkerPlacement DP over servers with free GPUs.
+        let capacity = scratch.spec().server_link_gbps;
+        let stats: Vec<ServerStats> = scratch
+            .servers()
+            .iter()
+            .map(|s| {
+                let avail = state.server_available_gbps(s.id());
+                let flows = state.server_flows(s.id());
+                ServerStats {
+                    id: s.id(),
+                    gpus_free: s.gpus_free(),
+                    value: Self::server_value(capacity, avail, flows),
+                    flows,
+                }
+            })
+            .collect();
+        let dp = if self.config.flow_dimension {
+            WorkerDp::new(self.config.fs_max)
+        } else {
+            WorkerDp::without_flow_dimension()
+        };
+        let slack = scratch.spec().gpus_per_server;
+        let plans = dp.plans(&stats, job.gpus, slack);
+        if plans.is_empty() {
+            return None;
+        }
+
+        // PSPlacement: exhaust (plan, server) pairs.
+        let mut chosen_mask = vec![false; scratch.num_servers()];
+        let mut best: Option<(f64, usize, ServerId)> = None;
+        for (pi, plan) in plans.iter().enumerate() {
+            for m in chosen_mask.iter_mut() {
+                *m = false;
+            }
+            for s in &plan.servers {
+                chosen_mask[s.0] = true;
+            }
+            // Per-plan rack worker summary for the oversubscription term.
+            let mut rack_workers: Vec<(RackId, u32)> = Vec::new();
+            for &sid in &plan.servers {
+                let r = scratch.rack_of(sid);
+                let w = scratch.server(sid).expect("plan server").gpus_free() as u32;
+                match rack_workers.iter_mut().find(|(rr, _)| *rr == r) {
+                    Some(e) => e.1 += w,
+                    None => rack_workers.push((r, w)),
+                }
+            }
+            for server in scratch.servers() {
+                let sid = server.id();
+                let eps: u32 = u32::from(!chosen_mask[sid.0]);
+                // Flows the PS would share its access link with: existing
+                // steady-state flows plus this plan's own workers on the
+                // server (the job's gradient streams are flows too — a PS
+                // stacked on the busiest worker server is the hot-spot the
+                // paper's penalty is after).
+                let own_workers = if chosen_mask[sid.0] {
+                    server.gpus_free() as u32
+                } else {
+                    0
+                };
+                let s_flows = state.server_flows(sid) + own_workers;
+                let f_max = plan.max_flows.max(s_flows + eps);
+                let avail = state.server_available_gbps(sid);
+                let base = plan.value + avail
+                    - (capacity - avail) / (f64::from(s_flows + eps) + 1.0);
+                let term = self.hotspot_term(scratch, state, &rack_workers, sid, f_max);
+                let score = base + term;
+                if best.is_none_or(|(b, _, _)| score > b) {
+                    best = Some((score, pi, sid));
+                }
+            }
+        }
+        let (_, pi, ps) = best?;
+        let plan = &plans[pi];
+
+        // Gradient sharding: rank PS candidates for the winning plan and
+        // take the k best distinct locations (k = 1 reproduces Algorithm 2
+        // exactly, returning `ps` itself).
+        let pses = if self.config.pses_per_job <= 1 {
+            vec![ps]
+        } else {
+            for m in chosen_mask.iter_mut() {
+                *m = false;
+            }
+            for s in &plan.servers {
+                chosen_mask[s.0] = true;
+            }
+            let mut rack_workers: Vec<(RackId, u32)> = Vec::new();
+            for &sid in &plan.servers {
+                let r = scratch.rack_of(sid);
+                let w = scratch.server(sid).expect("plan server").gpus_free() as u32;
+                match rack_workers.iter_mut().find(|(rr, _)| *rr == r) {
+                    Some(e) => e.1 += w,
+                    None => rack_workers.push((r, w)),
+                }
+            }
+            let mut scored: Vec<(f64, ServerId)> = scratch
+                .servers()
+                .iter()
+                .map(|server| {
+                    let sid = server.id();
+                    let eps: u32 = u32::from(!chosen_mask[sid.0]);
+                    let own_workers = if chosen_mask[sid.0] {
+                        server.gpus_free() as u32
+                    } else {
+                        0
+                    };
+                    let s_flows = state.server_flows(sid) + own_workers;
+                    let f_max = plan.max_flows.max(s_flows + eps);
+                    let avail = state.server_available_gbps(sid);
+                    let base = plan.value + avail
+                        - (capacity - avail) / (f64::from(s_flows + eps) + 1.0);
+                    let term =
+                        self.hotspot_term(scratch, state, &rack_workers, sid, f_max);
+                    (base + term, sid)
+                })
+                .collect();
+            scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+            scored
+                .into_iter()
+                .take(self.config.pses_per_job)
+                .map(|(_, sid)| sid)
+                .collect()
+        };
+
+        // Materialize: every free GPU of each chosen server, then release
+        // the surplus starting from the least-loaded chosen server.
+        let mut workers: Vec<(ServerId, usize)> = plan
+            .servers
+            .iter()
+            .map(|&s| (s, scratch.server(s).expect("plan server").gpus_free()))
+            .collect();
+        let mut surplus = plan.gpus.checked_sub(job.gpus).expect("plan covers demand");
+        while surplus > 0 {
+            // Release from the PS's own server first — every worker taken
+            // off it is one fewer flow sharing the PS's access link — then
+            // from the least-loaded (largest-contribution) server.
+            let idx = workers
+                .iter()
+                .position(|&(s, w)| s == ps && w > 0)
+                .unwrap_or_else(|| {
+                    workers
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|(_, &(_, w))| w)
+                        .map(|(i, _)| i)
+                        .expect("non-empty plan")
+                });
+            let take = workers[idx].1.min(surplus);
+            workers[idx].1 -= take;
+            surplus -= take;
+            if workers[idx].1 == 0 {
+                workers.remove(idx);
+            }
+        }
+        Some(Placement::new_sharded(workers, pses))
+    }
+
+    /// The Equation-1 hot-spot / oversubscription term.
+    fn hotspot_term(
+        &self,
+        cluster: &Cluster,
+        state: &SteadyState,
+        rack_workers: &[(RackId, u32)],
+        ps: ServerId,
+        f_max: u32,
+    ) -> f64 {
+        let capacity = cluster.spec().server_link_gbps;
+        let share = capacity / (f64::from(f_max) + 1.0);
+        let ps_rack = cluster.rack_of(ps);
+        let cross_rack = rack_workers.iter().any(|&(r, _)| r != ps_rack);
+        match self.config.hotspot {
+            HotSpotTerm::PaperLiteral => {
+                let literal = capacity / f64::from(f_max.max(1));
+                if !cross_rack {
+                    return -literal;
+                }
+                let worst = self
+                    .rack_shares(cluster, state, rack_workers, ps_rack)
+                    .fold(share, f64::max);
+                -worst.max(literal)
+            }
+            HotSpotTerm::RewardBottleneckShare => {
+                if !cross_rack {
+                    return share;
+                }
+                self.rack_shares(cluster, state, rack_workers, ps_rack)
+                    .fold(share, f64::min)
+            }
+        }
+    }
+
+    /// Expected per-flow share on each rack uplink the job would cross:
+    /// `C_rack / (FC_r + n_r)` with `FC_r` the existing uplink flows and
+    /// `n_r` the flows this job adds.
+    fn rack_shares<'a>(
+        &self,
+        cluster: &'a Cluster,
+        state: &'a SteadyState,
+        rack_workers: &'a [(RackId, u32)],
+        ps_rack: RackId,
+    ) -> impl Iterator<Item = f64> + 'a {
+        let mut inbound = 0u32;
+        let mut shares = Vec::with_capacity(rack_workers.len() + 1);
+        for &(r, w) in rack_workers {
+            if r == ps_rack {
+                continue;
+            }
+            let uplink = netpack_topology::LinkId::RackUplink(r);
+            let fc = state.link_flows(uplink, cluster);
+            let c_rack = cluster.rack(r).expect("rack").uplink_gbps();
+            // Pessimistic flow estimate: every worker in the rack streams
+            // through the uplink unaggregated.
+            shares.push(c_rack / f64::from(fc + w));
+            inbound += w;
+        }
+        if inbound > 0 {
+            let uplink = netpack_topology::LinkId::RackUplink(ps_rack);
+            let fc = state.link_flows(uplink, cluster);
+            let c_rack = cluster.rack(ps_rack).expect("rack").uplink_gbps();
+            shares.push(c_rack / f64::from(fc + inbound));
+        }
+        shares.into_iter()
+    }
+
+    /// Step 4: selective INA enabling by aggregation efficiency.
+    fn enable_ina(
+        &self,
+        cluster: &Cluster,
+        running: &[RunningJob],
+        placed: &mut [(Job, Placement)],
+    ) {
+        match self.config.ina_policy {
+            InaPolicy::AlwaysOn => return, // placements start INA-enabled
+            InaPolicy::AlwaysOff => {
+                for (_, p) in placed.iter_mut() {
+                    p.set_ina_enabled(false);
+                }
+                return;
+            }
+            InaPolicy::Selective => {}
+        }
+        // Steady state with everything (running + batch, INA all-on) to
+        // obtain each job's throughput for the AE metric.
+        let mut all: Vec<PlacedJob> = running.iter().map(|r| r.to_placed(cluster)).collect();
+        for (job, p) in placed.iter() {
+            all.push(PlacedJob::new(job.id, cluster, p));
+        }
+        let state = estimate(cluster, &all);
+
+        // Budget per rack: PAT minus what running INA jobs already draw.
+        let mut budget: Vec<f64> = cluster.racks().iter().map(|r| r.pat_gbps()).collect();
+        for r in running {
+            if !r.placement.ina_enabled() {
+                continue;
+            }
+            let components = JobHierarchy::components_from_placement(cluster, &r.placement);
+            if let Some(rate) = state.job_rate_gbps(r.id) {
+                if rate.is_finite() {
+                    for h in &components {
+                        for rack in h.switches() {
+                            budget[rack.0] -= rate;
+                        }
+                    }
+                }
+            }
+        }
+
+        // AE = throughput x total incoming flows at the job's switches
+        // (summed over gradient shards for multi-PS placements).
+        let mut order: Vec<(usize, f64, f64, Vec<RackId>)> = Vec::new();
+        for (i, (job, p)) in placed.iter().enumerate() {
+            let components = JobHierarchy::components_from_placement(cluster, p);
+            if components.is_empty() {
+                continue; // local jobs don't use INA
+            }
+            let rate = state.job_rate_gbps(job.id).unwrap_or(0.0);
+            if !rate.is_finite() || rate <= 0.0 {
+                continue;
+            }
+            let mut switches = Vec::new();
+            let mut fan_in = 0u32;
+            for h in &components {
+                for r in h.switches() {
+                    fan_in += h.incoming_flows(r, |_| true).unwrap_or(0);
+                    switches.push(r);
+                }
+            }
+            order.push((i, rate * f64::from(fan_in), rate, switches));
+        }
+        order.sort_by(|a, b| b.1.total_cmp(&a.1).then(placed[a.0].0.id.cmp(&placed[b.0].0.id)));
+
+        // "Enable INA for these jobs ... until using up the switch memory":
+        // a job keeps INA while every switch it aggregates at still has
+        // memory left; the marginal job may overshoot the budget (slots
+        // are shared statistically, not reserved), and only jobs arriving
+        // after a switch is fully spoken for are turned off.
+        for (i, _ae, rate, switches) in order {
+            let fits = switches.iter().all(|&r| budget[r.0] > 0.0);
+            if fits {
+                for &r in &switches {
+                    budget[r.0] -= rate;
+                }
+                placed[i].1.set_ina_enabled(true);
+            } else {
+                placed[i].1.set_ina_enabled(false);
+            }
+        }
+    }
+}
+
+impl Placer for NetPackPlacer {
+    fn name(&self) -> &'static str {
+        "NetPack"
+    }
+
+    fn place_batch(
+        &mut self,
+        cluster: &Cluster,
+        running: &[RunningJob],
+        batch: &[Job],
+    ) -> BatchOutcome {
+        let mut outcome = BatchOutcome::default();
+        // Step 1: FindSubset.
+        let subset = select_job_subset(batch, cluster.free_gpus());
+        let in_subset: std::collections::HashSet<usize> = subset.iter().copied().collect();
+        for (i, job) in batch.iter().enumerate() {
+            if !in_subset.contains(&i) {
+                outcome.deferred.push(job.clone());
+            }
+        }
+        // Value-descending placement order (ties by id for determinism).
+        let mut ordered: Vec<&Job> = subset.iter().map(|&i| &batch[i]).collect();
+        ordered.sort_by(|a, b| b.value.total_cmp(&a.value).then(a.id.cmp(&b.id)));
+
+        let mut scratch = cluster.clone();
+        let mut active: Vec<PlacedJob> = running.iter().map(|r| r.to_placed(cluster)).collect();
+        for job in ordered {
+            // Step 2-3 need the current steady state (rerun per job: the
+            // fair shares shift as the batch lands, Algorithm 2 line 7).
+            let state = estimate(&scratch, &active);
+            match self.place_one(&scratch, &state, job) {
+                Some(placement) => {
+                    for &(s, w) in placement.workers() {
+                        scratch
+                            .allocate_gpus(s, w)
+                            .expect("DP placed within free GPUs");
+                    }
+                    active.push(PlacedJob::new(job.id, &scratch, &placement));
+                    outcome.placed.push((job.clone(), placement));
+                }
+                None => outcome.deferred.push(job.clone()),
+            }
+        }
+        // Step 4: selective INA enabling across the newly placed jobs.
+        self.enable_ina(cluster, running, &mut outcome.placed);
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpack_topology::{ClusterSpec, JobId, ServerId};
+    use netpack_workload::ModelKind;
+
+    fn cluster(racks: usize, spr: usize, gps: usize) -> Cluster {
+        Cluster::new(ClusterSpec {
+            racks,
+            servers_per_rack: spr,
+            gpus_per_server: gps,
+            ..ClusterSpec::paper_default()
+        })
+    }
+
+    fn job(id: u64, gpus: usize) -> Job {
+        Job::builder(JobId(id), ModelKind::Vgg16, gpus).build()
+    }
+
+    #[test]
+    fn single_server_jobs_go_local() {
+        let c = cluster(1, 3, 4);
+        let mut p = NetPackPlacer::default();
+        let out = p.place_batch(&c, &[], &[job(0, 4)]);
+        assert_eq!(out.placed.len(), 1);
+        let placement = &out.placed[0].1;
+        assert!(placement.is_local());
+        assert_eq!(placement.total_workers(), 4);
+    }
+
+    #[test]
+    fn spanning_jobs_get_a_ps_and_exact_gpus() {
+        let c = cluster(1, 3, 4);
+        let mut p = NetPackPlacer::default();
+        let out = p.place_batch(&c, &[], &[job(0, 6)]);
+        assert_eq!(out.placed.len(), 1);
+        let placement = &out.placed[0].1;
+        assert_eq!(placement.total_workers(), 6);
+        assert!(placement.ps().is_some());
+        placement.validate(&c, 6).unwrap();
+    }
+
+    #[test]
+    fn batch_respects_gpu_capacity_via_knapsack() {
+        let c = cluster(1, 2, 4);
+        let mut p = NetPackPlacer::default();
+        // 8 GPUs total; jobs demand 6+6: only one fits.
+        let out = p.place_batch(&c, &[], &[job(0, 6), job(1, 6)]);
+        assert_eq!(out.placed.len(), 1);
+        assert_eq!(out.deferred.len(), 1);
+    }
+
+    #[test]
+    fn oversized_jobs_are_deferred() {
+        let c = cluster(1, 2, 2);
+        let mut p = NetPackPlacer::default();
+        let out = p.place_batch(&c, &[], &[job(0, 100)]);
+        assert!(out.placed.is_empty());
+        assert_eq!(out.deferred.len(), 1);
+    }
+
+    #[test]
+    fn placements_avoid_hot_servers() {
+        let mut c = cluster(1, 4, 4);
+        // Server 0 is busy hosting a running job's PS fan-in.
+        let running = RunningJob {
+            id: JobId(100),
+            gradient_gbits: 4.0,
+            placement: Placement::new(
+                vec![(ServerId(1), 2), (ServerId(2), 2)],
+                Some(ServerId(0)),
+            ),
+        };
+        c.allocate_gpus(ServerId(1), 2).unwrap();
+        c.allocate_gpus(ServerId(2), 2).unwrap();
+        // New 6-GPU job must span servers; it should prefer 3 (idle) and
+        // avoid piling its PS onto server 0.
+        let mut p = NetPackPlacer::default();
+        let out = p.place_batch(&c, std::slice::from_ref(&running), &[job(0, 6)]);
+        assert_eq!(out.placed.len(), 1);
+        let placement = &out.placed[0].1;
+        placement.validate(&c, 6).unwrap();
+        assert!(placement.workers().iter().any(|&(s, _)| s == ServerId(3)));
+    }
+
+    #[test]
+    fn ina_always_off_policy_disables_every_placement() {
+        let c = cluster(1, 4, 2);
+        let mut p = NetPackPlacer::new(NetPackConfig {
+            ina_policy: InaPolicy::AlwaysOff,
+            ..NetPackConfig::default()
+        });
+        let out = p.place_batch(&c, &[], &[job(0, 6)]);
+        assert!(out.placed.iter().all(|(_, pl)| !pl.ina_enabled()));
+    }
+
+    #[test]
+    fn selective_ina_respects_switch_budget() {
+        // PAT so small that at most one job can aggregate.
+        let c = Cluster::new(ClusterSpec {
+            racks: 1,
+            servers_per_rack: 6,
+            gpus_per_server: 2,
+            pat_gbps: 30.0,
+            ..ClusterSpec::paper_default()
+        });
+        let mut p = NetPackPlacer::default();
+        let out = p.place_batch(&c, &[], &[job(0, 4), job(1, 4), job(2, 4)]);
+        assert_eq!(out.placed.len(), 3);
+        let enabled = out
+            .placed
+            .iter()
+            .filter(|(_, pl)| !pl.is_local() && pl.ina_enabled())
+            .count();
+        // 3 spanning jobs at ~tens of Gbps each cannot all fit in 30 Gbps
+        // of PAT; selective enabling must turn at least one off.
+        assert!(enabled < 3, "expected selective disabling, got {enabled}");
+    }
+
+    #[test]
+    fn paper_literal_hotspot_variant_still_places_validly() {
+        let c = cluster(2, 3, 2);
+        let mut p = NetPackPlacer::new(NetPackConfig {
+            hotspot: HotSpotTerm::PaperLiteral,
+            ..NetPackConfig::default()
+        });
+        let out = p.place_batch(&c, &[], &[job(0, 5)]);
+        assert_eq!(out.placed.len(), 1);
+        out.placed[0].1.validate(&c, 5).unwrap();
+    }
+
+    #[test]
+    fn flow_dimension_ablation_places_validly() {
+        let c = cluster(2, 3, 2);
+        let mut p = NetPackPlacer::new(NetPackConfig {
+            flow_dimension: false,
+            ..NetPackConfig::default()
+        });
+        let out = p.place_batch(&c, &[], &[job(0, 5)]);
+        assert_eq!(out.placed.len(), 1);
+        out.placed[0].1.validate(&c, 5).unwrap();
+    }
+
+    #[test]
+    fn value_ordering_places_high_value_jobs_first() {
+        let c = cluster(1, 2, 4);
+        let low = Job::builder(JobId(0), ModelKind::Vgg16, 8).value(1.0).build();
+        let high = Job::builder(JobId(1), ModelKind::Vgg16, 8).value(5.0).build();
+        let mut p = NetPackPlacer::default();
+        // Both want all 8 GPUs; knapsack can satisfy only one: the valuable.
+        let out = p.place_batch(&c, &[], &[low, high]);
+        assert_eq!(out.placed.len(), 1);
+        assert_eq!(out.placed[0].0.id, JobId(1));
+    }
+}
+
+#[cfg(test)]
+mod sharded_tests {
+    use super::*;
+    use netpack_topology::{ClusterSpec, JobId};
+    use netpack_workload::ModelKind;
+
+    #[test]
+    fn multi_ps_config_produces_sharded_placements() {
+        let c = Cluster::new(ClusterSpec {
+            racks: 1,
+            servers_per_rack: 6,
+            gpus_per_server: 2,
+            ..ClusterSpec::paper_default()
+        });
+        let job = Job::builder(JobId(0), ModelKind::Vgg16, 6).build();
+        let mut placer = NetPackPlacer::new(NetPackConfig {
+            pses_per_job: 2,
+            ..NetPackConfig::default()
+        });
+        let out = placer.place_batch(&c, &[], std::slice::from_ref(&job));
+        assert_eq!(out.placed.len(), 1);
+        let placement = &out.placed[0].1;
+        placement.validate(&c, 6).unwrap();
+        assert_eq!(placement.pses().len(), 2);
+        assert_eq!(placement.shards(), 2);
+    }
+
+    #[test]
+    fn sharding_improves_comm_time_under_ps_bottleneck() {
+        // Large fan-in, no INA: the PS access link dominates, so two
+        // shards should strictly reduce the evaluated communication time.
+        let c = Cluster::new(ClusterSpec {
+            racks: 1,
+            servers_per_rack: 6,
+            gpus_per_server: 4,
+            pat_gbps: 0.0,
+            ..ClusterSpec::paper_default()
+        });
+        let job = Job::builder(JobId(0), ModelKind::Vgg16, 16).build();
+        let obj = |k: usize| {
+            let mut placer = NetPackPlacer::new(NetPackConfig {
+                pses_per_job: k,
+                ina_policy: InaPolicy::AlwaysOff,
+                ..NetPackConfig::default()
+            });
+            let out = placer.place_batch(&c, &[], std::slice::from_ref(&job));
+            assert_eq!(out.placed.len(), 1);
+            crate::placer::batch_comm_time_s(&c, &[], &out.placed)
+        };
+        let one = obj(1);
+        let two = obj(2);
+        assert!(
+            two < one - 1e-9,
+            "sharding should cut comm time: 1 PS {one}, 2 PS {two}"
+        );
+    }
+
+    #[test]
+    fn single_server_jobs_stay_local_even_with_sharding() {
+        let c = Cluster::new(ClusterSpec {
+            racks: 1,
+            servers_per_rack: 3,
+            gpus_per_server: 4,
+            ..ClusterSpec::paper_default()
+        });
+        let job = Job::builder(JobId(0), ModelKind::AlexNet, 4).build();
+        let mut placer = NetPackPlacer::new(NetPackConfig {
+            pses_per_job: 3,
+            ..NetPackConfig::default()
+        });
+        let out = placer.place_batch(&c, &[], std::slice::from_ref(&job));
+        assert!(out.placed[0].1.is_local());
+    }
+}

@@ -1,0 +1,229 @@
+//! The placer abstraction shared by NetPack and every baseline.
+
+use netpack_model::Placement;
+use netpack_topology::{Cluster, JobId};
+use netpack_waterfill::PlacedJob;
+use netpack_workload::Job;
+
+/// A job that is currently running in the cluster, as placers see it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunningJob {
+    /// The job's identifier.
+    pub id: JobId,
+    /// Per-worker gradient volume per iteration, in gigabits.
+    pub gradient_gbits: f64,
+    /// Where the job runs.
+    pub placement: Placement,
+}
+
+impl RunningJob {
+    /// Convert to the estimator's input form.
+    pub fn to_placed(&self, cluster: &Cluster) -> PlacedJob {
+        PlacedJob::new(self.id, cluster, &self.placement)
+    }
+}
+
+/// The result of placing one batch.
+#[derive(Debug, Clone, Default)]
+pub struct BatchOutcome {
+    /// Jobs placed this epoch, with their placements, in placement order.
+    pub placed: Vec<(Job, Placement)>,
+    /// Jobs that could not (or were chosen not to) be placed this epoch;
+    /// the job manager re-queues them with an aged value.
+    pub deferred: Vec<Job>,
+}
+
+impl BatchOutcome {
+    /// Look up the placement decided for a job this epoch.
+    pub fn placement_of(&self, id: JobId) -> Option<&Placement> {
+        self.placed
+            .iter()
+            .find(|(j, _)| j.id == id)
+            .map(|(_, p)| p)
+    }
+}
+
+/// A batch job-placement strategy.
+///
+/// Implementations must not mutate the cluster they are given: they clone
+/// it into a scratch ledger to track intra-batch GPU consumption, and the
+/// job manager applies the returned placements to the authoritative ledger
+/// after validation.
+pub trait Placer {
+    /// Short display name used in figure rows (e.g. `"NetPack"`, `"GB"`).
+    fn name(&self) -> &'static str;
+
+    /// Place a batch of jobs given the cluster's current state and the
+    /// already-running jobs.
+    fn place_batch(
+        &mut self,
+        cluster: &Cluster,
+        running: &[RunningJob],
+        batch: &[Job],
+    ) -> BatchOutcome;
+}
+
+/// The MIP objective of Table 3 evaluated under the water-filling model:
+/// total per-iteration communication time `Σ_j d^(j) / v^(j)` of the newly
+/// placed jobs, with `running` jobs held fixed. Local jobs contribute 0;
+/// a zero-rate job contributes `f64::INFINITY`.
+///
+/// # Example
+///
+/// ```
+/// use netpack_placement::{batch_comm_time_s, NetPackPlacer, Placer};
+/// use netpack_topology::{Cluster, ClusterSpec, JobId};
+/// use netpack_workload::{Job, ModelKind};
+///
+/// let cluster = Cluster::new(ClusterSpec::paper_testbed());
+/// let job = Job::builder(JobId(0), ModelKind::Vgg16, 4).build();
+/// let outcome = NetPackPlacer::default().place_batch(&cluster, &[], &[job]);
+/// let obj = batch_comm_time_s(&cluster, &[], &outcome.placed);
+/// assert!(obj.is_finite());
+/// ```
+pub fn batch_comm_time_s(
+    cluster: &Cluster,
+    running: &[RunningJob],
+    placed: &[(Job, Placement)],
+) -> f64 {
+    let mut all: Vec<netpack_waterfill::PlacedJob> =
+        running.iter().map(|r| r.to_placed(cluster)).collect();
+    all.extend(
+        placed
+            .iter()
+            .map(|(j, p)| netpack_waterfill::PlacedJob::new(j.id, cluster, p)),
+    );
+    let state = netpack_waterfill::estimate(cluster, &all);
+    placed
+        .iter()
+        .map(|(j, _)| {
+            state
+                .comm_time_s(j.id, j.gradient_gbits())
+                .unwrap_or(f64::INFINITY)
+        })
+        .sum()
+}
+
+/// Greedy FIFO batch driver shared by the single-job baselines: places each
+/// job in arrival order on a scratch ledger, deferring jobs that do not fit.
+pub(crate) fn greedy_batch<F>(
+    cluster: &Cluster,
+    batch: &[Job],
+    mut place_one: F,
+) -> BatchOutcome
+where
+    F: FnMut(&Cluster, &Job) -> Option<Placement>,
+{
+    let mut scratch = cluster.clone();
+    let mut outcome = BatchOutcome::default();
+    for job in batch {
+        match place_one(&scratch, job) {
+            Some(placement) => {
+                for &(s, w) in placement.workers() {
+                    scratch
+                        .allocate_gpus(s, w)
+                        .expect("placer proposed an over-committed placement");
+                }
+                outcome.placed.push((job.clone(), placement));
+            }
+            None => outcome.deferred.push(job.clone()),
+        }
+    }
+    outcome
+}
+
+/// Shared helper: pick servers from a preference-ordered candidate list
+/// until the GPU demand is met, taking as many free GPUs per server as
+/// needed. Returns `None` when the cluster lacks free GPUs overall.
+pub(crate) fn take_in_order(
+    cluster: &Cluster,
+    order: &[netpack_topology::ServerId],
+    gpus: usize,
+) -> Option<Vec<(netpack_topology::ServerId, usize)>> {
+    let mut remaining = gpus;
+    let mut chosen = Vec::new();
+    for &s in order {
+        if remaining == 0 {
+            break;
+        }
+        let free = cluster.server(s)?.gpus_free();
+        if free == 0 {
+            continue;
+        }
+        let take = free.min(remaining);
+        chosen.push((s, take));
+        remaining -= take;
+    }
+    if remaining == 0 {
+        Some(chosen)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpack_topology::{ClusterSpec, ServerId};
+    use netpack_workload::ModelKind;
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterSpec {
+            racks: 1,
+            servers_per_rack: 3,
+            gpus_per_server: 2,
+            ..ClusterSpec::paper_default()
+        })
+    }
+
+    fn job(id: u64, gpus: usize) -> Job {
+        Job::builder(JobId(id), ModelKind::ResNet50, gpus).build()
+    }
+
+    #[test]
+    fn greedy_batch_tracks_intra_batch_consumption() {
+        let c = cluster();
+        let batch = [job(0, 2), job(1, 2), job(2, 2), job(3, 2)];
+        // Place each job on the first server with free GPUs.
+        let outcome = greedy_batch(&c, &batch, |scratch, j| {
+            let order: Vec<ServerId> = scratch.servers().iter().map(|s| s.id()).collect();
+            let workers = take_in_order(scratch, &order, j.gpus)?;
+            Some(Placement::new(workers, None))
+        });
+        // 6 GPUs total: three jobs fit, the fourth defers.
+        assert_eq!(outcome.placed.len(), 3);
+        assert_eq!(outcome.deferred.len(), 1);
+        assert_eq!(outcome.deferred[0].id, JobId(3));
+        assert!(outcome.placement_of(JobId(0)).is_some());
+        assert!(outcome.placement_of(JobId(3)).is_none());
+    }
+
+    #[test]
+    fn take_in_order_skips_full_servers() {
+        let mut c = cluster();
+        c.allocate_gpus(ServerId(0), 2).unwrap();
+        let order: Vec<ServerId> = c.servers().iter().map(|s| s.id()).collect();
+        let chosen = take_in_order(&c, &order, 3).unwrap();
+        assert_eq!(chosen, vec![(ServerId(1), 2), (ServerId(2), 1)]);
+    }
+
+    #[test]
+    fn take_in_order_reports_shortage() {
+        let c = cluster();
+        let order: Vec<ServerId> = c.servers().iter().map(|s| s.id()).collect();
+        assert!(take_in_order(&c, &order, 7).is_none());
+    }
+
+    #[test]
+    fn running_job_converts_to_placed() {
+        let c = cluster();
+        let r = RunningJob {
+            id: JobId(5),
+            gradient_gbits: 4.0,
+            placement: Placement::new(vec![(ServerId(0), 1), (ServerId(1), 1)], Some(ServerId(2))),
+        };
+        let placed = r.to_placed(&c);
+        assert_eq!(placed.id(), JobId(5));
+        assert!(placed.hierarchy().is_some());
+    }
+}

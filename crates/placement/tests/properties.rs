@@ -1,0 +1,126 @@
+//! Property tests: every placer only ever proposes valid placements, and
+//! NetPack's DP never loses to a greedy plan on the same server values.
+
+use netpack_placement::{
+    Comb, FlowBalance, GpuBalance, LeastFragmentation, NetPackPlacer, OptimusLike, Placer,
+    RandomPlacer, ServerStats, TetrisLike, WorkerDp,
+};
+use netpack_topology::{Cluster, ClusterSpec, JobId, ServerId};
+use netpack_workload::{Job, ModelKind};
+use proptest::prelude::*;
+
+fn arb_cluster() -> impl Strategy<Value = Cluster> {
+    (1usize..3, 2usize..6, 1usize..5).prop_map(|(racks, spr, gps)| {
+        Cluster::new(ClusterSpec {
+            racks,
+            servers_per_rack: spr,
+            gpus_per_server: gps,
+            ..ClusterSpec::paper_default()
+        })
+    })
+}
+
+fn arb_batch(max_gpus: usize) -> impl Strategy<Value = Vec<Job>> {
+    proptest::collection::vec((1usize..9, 1u64..5), 1..6).prop_map(move |raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (gpus, value))| {
+                Job::builder(JobId(i as u64), ModelKind::Vgg16, gpus.min(max_gpus.max(1)))
+                    .value(value as f64)
+                    .build()
+            })
+            .collect()
+    })
+}
+
+fn all_placers() -> Vec<Box<dyn Placer>> {
+    vec![
+        Box::new(NetPackPlacer::default()),
+        Box::new(GpuBalance),
+        Box::new(FlowBalance),
+        Box::new(LeastFragmentation),
+        Box::new(OptimusLike),
+        Box::new(TetrisLike),
+        Box::new(Comb),
+        Box::new(RandomPlacer::new(11)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every placement any placer emits validates against the cluster, and
+    /// the batch GPU ledger is never over-committed.
+    #[test]
+    fn placements_are_always_valid(
+        (cluster, batch) in arb_cluster().prop_flat_map(|c| {
+            let total = c.total_gpus();
+            (Just(c), arb_batch(total))
+        })
+    ) {
+        for mut placer in all_placers() {
+            let outcome = placer.place_batch(&cluster, &[], &batch);
+            let mut scratch = cluster.clone();
+            for (job, placement) in &outcome.placed {
+                placement
+                    .validate(&scratch, job.gpus)
+                    .unwrap_or_else(|e| panic!("{}: invalid placement: {e}", placer.name()));
+                for &(s, w) in placement.workers() {
+                    scratch.allocate_gpus(s, w).expect("ledger over-commit");
+                }
+            }
+            // Every batch job is either placed or deferred, exactly once.
+            prop_assert_eq!(
+                outcome.placed.len() + outcome.deferred.len(),
+                batch.len(),
+                "{} lost a job",
+                placer.name()
+            );
+        }
+    }
+
+    /// The DP's best exact-demand plan is at least as valuable as any
+    /// greedy value-descending plan.
+    #[test]
+    fn dp_beats_greedy_on_value(
+        stats in proptest::collection::vec(
+            (1usize..5, -10.0f64..50.0, 0u32..10), 1..10),
+        demand in 1usize..12,
+    ) {
+        let servers: Vec<ServerStats> = stats
+            .iter()
+            .enumerate()
+            .map(|(i, &(gpus, value, flows))| ServerStats {
+                id: ServerId(i),
+                gpus_free: gpus,
+                value,
+                flows,
+            })
+            .collect();
+        let slack = 4;
+        let plans = WorkerDp::new(16).plans(&servers, demand, slack);
+        // Greedy: take servers by value desc until demand covered.
+        let mut by_value: Vec<&ServerStats> = servers.iter().collect();
+        by_value.sort_by(|a, b| b.value.total_cmp(&a.value));
+        let mut greedy_gpus = 0;
+        let mut greedy_value = 0.0;
+        for s in by_value {
+            if greedy_gpus >= demand {
+                break;
+            }
+            greedy_gpus += s.gpus_free;
+            greedy_value += s.value;
+        }
+        if greedy_gpus >= demand && greedy_gpus <= demand + slack {
+            let best = plans
+                .iter()
+                .filter(|p| p.gpus >= demand)
+                .map(|p| p.value)
+                .fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(
+                best >= greedy_value - 1e-9,
+                "dp {best} < greedy {greedy_value}"
+            );
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type for topology operations.
+
+use crate::ServerId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by cluster construction and the GPU allocation ledger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// A [`ClusterSpec`](crate::ClusterSpec) field is out of range.
+    InvalidSpec(String),
+    /// A server index does not exist in this cluster.
+    UnknownServer(ServerId),
+    /// An allocation asked for more free GPUs than the server holds.
+    InsufficientGpus {
+        /// The server the allocation targeted.
+        server: ServerId,
+        /// GPUs requested by the allocation.
+        requested: usize,
+        /// GPUs actually free on the server.
+        available: usize,
+    },
+    /// A release would push a server's free-GPU count above its capacity.
+    ReleaseOverflow {
+        /// The server the release targeted.
+        server: ServerId,
+        /// GPUs the caller tried to release.
+        released: usize,
+        /// GPUs currently allocated on the server.
+        allocated: usize,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::InvalidSpec(msg) => write!(f, "invalid cluster spec: {msg}"),
+            TopologyError::UnknownServer(s) => write!(f, "unknown server {s}"),
+            TopologyError::InsufficientGpus {
+                server,
+                requested,
+                available,
+            } => write!(
+                f,
+                "server {server} has {available} free GPUs, {requested} requested"
+            ),
+            TopologyError::ReleaseOverflow {
+                server,
+                released,
+                allocated,
+            } => write!(
+                f,
+                "server {server} has {allocated} GPUs allocated, {released} released"
+            ),
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_lowercase_without_trailing_punctuation() {
+        let messages = [
+            TopologyError::InvalidSpec("racks must be positive".into()).to_string(),
+            TopologyError::UnknownServer(ServerId(9)).to_string(),
+            TopologyError::InsufficientGpus {
+                server: ServerId(1),
+                requested: 8,
+                available: 2,
+            }
+            .to_string(),
+            TopologyError::ReleaseOverflow {
+                server: ServerId(1),
+                released: 8,
+                allocated: 2,
+            }
+            .to_string(),
+        ];
+        for msg in messages {
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'));
+            assert!(msg.chars().next().unwrap().is_lowercase() || msg.starts_with("server"));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TopologyError>();
+    }
+}

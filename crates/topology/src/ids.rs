@@ -1,0 +1,87 @@
+//! Strongly-typed identifiers for topology entities.
+//!
+//! Newtypes keep server, rack, and job indices from being confused with each
+//! other (Rust API guideline C-NEWTYPE). All identifiers are dense indices
+//! assigned by [`Cluster::new`](crate::Cluster::new) (servers, racks) or by
+//! the workload layer (jobs).
+
+use std::fmt;
+
+/// Identifier of a GPU server (dense index into [`Cluster::servers`]).
+///
+/// [`Cluster::servers`]: crate::Cluster::servers
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ServerId(pub usize);
+
+/// Identifier of a rack and its ToR switch (dense index into
+/// [`Cluster::racks`]).
+///
+/// [`Cluster::racks`]: crate::Cluster::racks
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RackId(pub usize);
+
+/// Identifier of a distributed-training job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for RackId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "j{}", self.0)
+    }
+}
+
+impl From<usize> for ServerId {
+    fn from(value: usize) -> Self {
+        ServerId(value)
+    }
+}
+
+impl From<usize> for RackId {
+    fn from(value: usize) -> Self {
+        RackId(value)
+    }
+}
+
+impl From<u64> for JobId {
+    fn from(value: u64) -> Self {
+        JobId(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(ServerId(3).to_string(), "s3");
+        assert_eq!(RackId(7).to_string(), "r7");
+        assert_eq!(JobId(42).to_string(), "j42");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(ServerId(1) < ServerId(2));
+        assert!(RackId(0) < RackId(9));
+        assert!(JobId(5) < JobId(6));
+    }
+
+    #[test]
+    fn ids_convert_from_primitive() {
+        assert_eq!(ServerId::from(4), ServerId(4));
+        assert_eq!(RackId::from(4), RackId(4));
+        assert_eq!(JobId::from(4u64), JobId(4));
+    }
+}

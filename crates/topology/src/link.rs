@@ -1,0 +1,121 @@
+//! Link identifiers under the one-big-switch abstraction.
+
+use crate::{RackId, ServerId};
+use std::fmt;
+
+/// A network link in the one-big-switch view of the cluster (§4.1, §4.2).
+///
+/// Following the paper's observation that aggregation traffic (up) and the
+/// multicast result/ACK traffic (down) traverse the same path symmetrically,
+/// links are **undirected**: there is exactly one `ServerAccess` link per
+/// server and one `RackUplink` per rack.
+///
+/// # Example
+///
+/// ```
+/// use netpack_topology::{LinkId, ServerId, RackId, Cluster, ClusterSpec};
+///
+/// let cluster = Cluster::new(ClusterSpec::paper_default());
+/// let access = LinkId::ServerAccess(ServerId(0));
+/// let uplink = LinkId::RackUplink(RackId(0));
+/// assert_eq!(access.index(&cluster), 0);
+/// assert_eq!(uplink.index(&cluster), cluster.num_servers());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LinkId {
+    /// The access link between a server and its ToR switch.
+    ServerAccess(ServerId),
+    /// The uplink between a rack's ToR switch and the data-center core.
+    RackUplink(RackId),
+}
+
+impl LinkId {
+    /// Dense index of this link: server access links first (by server id),
+    /// then rack uplinks (by rack id). Matches the layout of the residual
+    /// vectors produced by the water-filling estimator.
+    pub fn index(&self, cluster: &crate::Cluster) -> usize {
+        match *self {
+            LinkId::ServerAccess(ServerId(s)) => s,
+            LinkId::RackUplink(RackId(r)) => cluster.num_servers() + r,
+        }
+    }
+
+    /// Inverse of [`LinkId::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for `cluster`.
+    pub fn from_index(index: usize, cluster: &crate::Cluster) -> Self {
+        let ns = cluster.num_servers();
+        if index < ns {
+            LinkId::ServerAccess(ServerId(index))
+        } else {
+            let r = index - ns;
+            assert!(r < cluster.num_racks(), "link index {index} out of range");
+            LinkId::RackUplink(RackId(r))
+        }
+    }
+
+    /// Capacity of this link in Gbps under `cluster`'s spec.
+    pub fn capacity_gbps(&self, cluster: &crate::Cluster) -> f64 {
+        match self {
+            LinkId::ServerAccess(_) => cluster.spec().server_link_gbps,
+            LinkId::RackUplink(_) => cluster.spec().rack_uplink_gbps(),
+        }
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkId::ServerAccess(s) => write!(f, "link:{s}"),
+            LinkId::RackUplink(r) => write!(f, "uplink:{r}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cluster, ClusterSpec};
+
+    #[test]
+    fn index_round_trips() {
+        let cluster = Cluster::new(ClusterSpec::paper_default());
+        for i in 0..cluster.num_links() {
+            let link = LinkId::from_index(i, &cluster);
+            assert_eq!(link.index(&cluster), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_index_panics_out_of_range() {
+        let cluster = Cluster::new(ClusterSpec::paper_default());
+        let _ = LinkId::from_index(cluster.num_links(), &cluster);
+    }
+
+    #[test]
+    fn capacities_follow_spec() {
+        let spec = ClusterSpec {
+            oversubscription: 4.0,
+            ..ClusterSpec::paper_default()
+        };
+        let cluster = Cluster::new(spec.clone());
+        assert_eq!(
+            LinkId::ServerAccess(ServerId(3)).capacity_gbps(&cluster),
+            spec.server_link_gbps
+        );
+        assert_eq!(
+            LinkId::RackUplink(RackId(2)).capacity_gbps(&cluster),
+            spec.rack_uplink_gbps()
+        );
+    }
+
+    #[test]
+    fn display_names_are_distinct() {
+        let a = LinkId::ServerAccess(ServerId(0)).to_string();
+        let b = LinkId::RackUplink(RackId(0)).to_string();
+        assert_ne!(a, b);
+    }
+}

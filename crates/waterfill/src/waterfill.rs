@@ -1,0 +1,542 @@
+//! The INA-specific water-filling loop (Algorithm 1).
+
+use crate::{SteadyState, EPSILON_GBPS};
+use netpack_model::{JobHierarchy, Placement};
+use netpack_topology::{Cluster, JobId, RackId};
+use std::collections::HashMap;
+
+/// A job that has been placed into the cluster, as the estimator sees it.
+///
+/// Built from a [`Placement`] with [`PlacedJob::new`]; local placements
+/// carry no hierarchy and are reported with infinite rate. A sharded
+/// (multi-PS) placement contributes one aggregation tree per PS; the trees
+/// fill in lock-step because every worker streams each gradient shard at
+/// the same rate (§4.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacedJob {
+    id: JobId,
+    components: Vec<JobHierarchy>,
+    shards: usize,
+}
+
+impl PlacedJob {
+    /// Wrap a placement for estimation.
+    pub fn new(id: JobId, cluster: &Cluster, placement: &Placement) -> Self {
+        PlacedJob {
+            id,
+            components: JobHierarchy::components_from_placement(cluster, placement),
+            shards: placement.shards(),
+        }
+    }
+
+    /// Build directly from a pre-computed hierarchy (`None` = local job).
+    pub fn from_hierarchy(id: JobId, hierarchy: Option<JobHierarchy>) -> Self {
+        PlacedJob {
+            id,
+            components: hierarchy.into_iter().collect(),
+            shards: 1,
+        }
+    }
+
+    /// This job's identifier.
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// The (first) aggregation hierarchy, if the job generates traffic.
+    pub fn hierarchy(&self) -> Option<&JobHierarchy> {
+        self.components.first()
+    }
+
+    /// All aggregation trees (one per gradient shard with network traffic).
+    pub fn components(&self) -> &[JobHierarchy] {
+        &self.components
+    }
+
+    /// Number of gradient shards (PS count; at least 1).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+}
+
+/// Run Algorithm 1: estimate the max-min steady state of `jobs` in
+/// `cluster`, jointly filling link bandwidth and switch PAT.
+///
+/// Local jobs converge instantly (infinite rate). The algorithm terminates
+/// after at most `|links| + |racks|` filling rounds because every round
+/// saturates at least one link (freezing its jobs) or exhausts at least one
+/// switch's PAT (fanning out its flows).
+///
+/// # Example
+///
+/// See the crate-level example.
+pub fn estimate(cluster: &Cluster, jobs: &[PlacedJob]) -> SteadyState {
+    let n_links = cluster.num_links();
+    let n_servers = cluster.num_servers();
+    let n_racks = cluster.num_racks();
+
+    let mut bw: Vec<f64> = Vec::with_capacity(n_links);
+    bw.resize(n_servers, cluster.spec().server_link_gbps);
+    for r in 0..n_racks {
+        bw.push(cluster.racks()[r].uplink_gbps());
+    }
+    let mut pat: Vec<f64> = cluster.racks().iter().map(|r| r.pat_gbps()).collect();
+
+    let mut job_rates: HashMap<JobId, f64> = HashMap::with_capacity(jobs.len());
+    let mut job_shards: HashMap<JobId, usize> = HashMap::with_capacity(jobs.len());
+    // Network jobs participate in the filling; local jobs are done already.
+    struct Active<'a> {
+        id: JobId,
+        components: &'a [JobHierarchy],
+        /// Cached (link index, flow count); refreshed when PAT states flip.
+        flows: Vec<(usize, u32)>,
+        /// Rack indices this job's components aggregate at while PAT
+        /// remains (one entry per component occurrence).
+        switches: Vec<usize>,
+        ina_enabled: bool,
+        rate: f64,
+        frozen: bool,
+    }
+    let mut active: Vec<Active<'_>> = Vec::new();
+    for job in jobs {
+        job_shards.insert(job.id, job.shards());
+        if job.components().is_empty() {
+            job_rates.insert(job.id, f64::INFINITY);
+        } else {
+            active.push(Active {
+                id: job.id,
+                components: job.components(),
+                flows: Vec::new(),
+                switches: job
+                    .components()
+                    .iter()
+                    .flat_map(|h| h.switches())
+                    .map(|r| r.0)
+                    .collect(),
+                ina_enabled: job.components().iter().any(JobHierarchy::ina_enabled),
+                rate: 0.0,
+                frozen: false,
+            });
+        }
+    }
+
+    let mut unfrozen = active.len();
+    let mut flows_stale = true;
+    // Round bound with headroom; the loop always exits earlier.
+    let max_rounds = 2 * (n_links + n_racks) + 8;
+    let mut link_job_count = vec![0u32; n_links];
+
+    for _ in 0..max_rounds {
+        if unfrozen == 0 {
+            break;
+        }
+        // UpdateFlows: recompute per-job link flows under the current
+        // PAT-residual predicate (only needed after a PAT flip).
+        if flows_stale {
+            for a in active.iter_mut().filter(|a| !a.frozen) {
+                let agg = |r: RackId| pat[r.0] > EPSILON_GBPS;
+                a.flows.clear();
+                for h in a.components {
+                    for (l, f) in h.link_flows(agg) {
+                        let idx = l.index(cluster);
+                        match a.flows.iter_mut().find(|(i, _)| *i == idx) {
+                            Some(e) => e.1 += f,
+                            None => a.flows.push((idx, f)),
+                        }
+                    }
+                }
+            }
+            flows_stale = false;
+        }
+
+        // Count flows per link and aggregating jobs per rack.
+        let mut link_flows_total = vec![0u64; n_links];
+        let mut rack_jobs = vec![0u32; n_racks];
+        for a in active.iter().filter(|a| !a.frozen) {
+            for &(l, f) in &a.flows {
+                link_flows_total[l] += u64::from(f);
+            }
+            if a.ina_enabled {
+                for &r in &a.switches {
+                    if pat[r] > EPSILON_GBPS {
+                        rack_jobs[r] += 1;
+                    }
+                }
+            }
+        }
+
+        // Minimum per-flow share across loaded links and switches.
+        let mut delta = f64::INFINITY;
+        for l in 0..n_links {
+            if link_flows_total[l] > 0 {
+                delta = delta.min((bw[l].max(0.0)) / link_flows_total[l] as f64);
+            }
+        }
+        for r in 0..n_racks {
+            if rack_jobs[r] > 0 {
+                delta = delta.min((pat[r].max(0.0)) / f64::from(rack_jobs[r]));
+            }
+        }
+        if !delta.is_finite() {
+            // No unfrozen job touches any link: freeze them all at their
+            // current rate (degenerate but defensively handled).
+            for a in active.iter_mut().filter(|a| !a.frozen) {
+                a.frozen = true;
+            }
+            unfrozen = 0;
+            break;
+        }
+
+        // Augment: raise every active job by delta, drain links and PAT.
+        let pat_was_live: Vec<bool> = pat.iter().map(|&p| p > EPSILON_GBPS).collect();
+        for a in active.iter_mut().filter(|a| !a.frozen) {
+            a.rate += delta;
+            for &(l, f) in &a.flows {
+                bw[l] -= delta * f64::from(f);
+            }
+            if a.ina_enabled {
+                for &r in &a.switches {
+                    if pat[r] > EPSILON_GBPS {
+                        pat[r] -= delta;
+                    }
+                }
+            }
+        }
+        // Pin near-zero residuals and detect PAT flips.
+        for r in 0..n_racks {
+            if pat_was_live[r] && pat[r] <= EPSILON_GBPS {
+                pat[r] = 0.0;
+                flows_stale = true;
+            }
+        }
+        let mut any_link_saturated = false;
+        for l in 0..n_links {
+            if link_flows_total[l] > 0 && bw[l] <= EPSILON_GBPS {
+                bw[l] = bw[l].max(0.0);
+                any_link_saturated = true;
+            }
+        }
+        // Freeze jobs crossing a saturated link.
+        if any_link_saturated {
+            for a in active.iter_mut().filter(|a| !a.frozen) {
+                if a.flows
+                    .iter()
+                    .any(|&(l, f)| f > 0 && bw[l] <= EPSILON_GBPS)
+                {
+                    a.frozen = true;
+                    unfrozen -= 1;
+                }
+            }
+        }
+    }
+    debug_assert_eq!(unfrozen, 0, "water-filling failed to converge");
+
+    // Converged flow counts including frozen jobs, under the final PAT view.
+    let agg = |r: RackId| pat[r.0] > EPSILON_GBPS;
+    for a in &active {
+        job_rates.insert(a.id, a.rate);
+        for h in a.components {
+            for (l, f) in h.link_flows(agg) {
+                link_job_count[l.index(cluster)] += f;
+            }
+        }
+    }
+
+    SteadyState {
+        job_rates,
+        job_shards,
+        link_residual: bw.into_iter().map(|b| b.max(0.0)).collect(),
+        link_flows: link_job_count,
+        pat_residual: pat,
+        num_servers: n_servers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpack_topology::{ClusterSpec, LinkId, ServerId};
+
+    fn cluster(racks: usize, servers_per_rack: usize, pat: f64) -> Cluster {
+        Cluster::new(ClusterSpec {
+            racks,
+            servers_per_rack,
+            gpus_per_server: 4,
+            server_link_gbps: 100.0,
+            pat_gbps: pat,
+            oversubscription: 1.0,
+            rtt_us: 50.0,
+        })
+    }
+
+    fn job(id: u64, c: &Cluster, workers: Vec<(usize, usize)>, ps: usize) -> PlacedJob {
+        let p = Placement::new(
+            workers.into_iter().map(|(s, w)| (ServerId(s), w)).collect(),
+            Some(ServerId(ps)),
+        );
+        PlacedJob::new(JobId(id), c, &p)
+    }
+
+    #[test]
+    fn lone_fully_aggregated_job_fills_its_bottleneck_link() {
+        let c = cluster(1, 3, 10_000.0);
+        // 2 workers on servers 0 and 1, PS on 2. Full aggregation: every
+        // link carries one "rate" per worker / one aggregated stream.
+        let jobs = [job(0, &c, vec![(0, 2), (1, 2)], 2)];
+        let s = estimate(&c, &jobs);
+        // Worker links carry 2 flows each: bottleneck 100/2 = 50.
+        let rate = s.job_rate_gbps(JobId(0)).unwrap();
+        assert!((rate - 50.0).abs() < 1e-6, "rate {rate}");
+        assert_eq!(s.server_available_gbps(ServerId(0)), 0.0);
+        // PS link carried one aggregated stream at 50.
+        assert!((s.server_available_gbps(ServerId(2)) - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_jobs_share_a_common_ps_link_max_min_fairly() {
+        let c = cluster(1, 5, 10_000.0);
+        // Both jobs place their PS on server 4.
+        let jobs = [
+            job(0, &c, vec![(0, 1), (1, 1)], 4),
+            job(1, &c, vec![(2, 1), (3, 1)], 4),
+        ];
+        let s = estimate(&c, &jobs);
+        let r0 = s.job_rate_gbps(JobId(0)).unwrap();
+        let r1 = s.job_rate_gbps(JobId(1)).unwrap();
+        assert!((r0 - r1).abs() < 1e-6);
+        // PS link: 2 aggregated streams sharing 100 Gbps => 50 each.
+        assert!((r0 - 50.0).abs() < 1e-6, "rate {r0}");
+        assert_eq!(s.server_available_gbps(ServerId(4)), 0.0);
+    }
+
+    #[test]
+    fn pat_exhaustion_fans_out_flows_and_lowers_rates() {
+        // Single-rack: 2 workers on distinct servers, PS alone; PAT tiny.
+        let c = cluster(1, 3, 10.0);
+        let jobs = [job(0, &c, vec![(0, 1), (1, 1)], 2)];
+        let s = estimate(&c, &jobs);
+        let rate = s.job_rate_gbps(JobId(0)).unwrap();
+        // Phase 1: aggregated (1 flow on PS link) until PAT=10 exhausts at
+        // rate 10. Phase 2: 2 unaggregated flows on the PS link; residual
+        // 90 Gbps shared by 2 flows => +45 => rate 55. Worker links hold
+        // one flow each (rate <= 100) so the PS link is the bottleneck.
+        assert!((rate - 55.0).abs() < 1e-6, "rate {rate}");
+        assert!(!s.rack_aggregating(RackId(0)));
+        assert_eq!(s.link_flows(LinkId::ServerAccess(ServerId(2)), &c), 2);
+    }
+
+    #[test]
+    fn pat_is_shared_fairly_between_jobs() {
+        // Two identical single-rack jobs, separate PSes; PAT = 40 total.
+        let c = cluster(1, 6, 40.0);
+        let jobs = [
+            job(0, &c, vec![(0, 1), (1, 1)], 2),
+            job(1, &c, vec![(3, 1), (4, 1)], 5),
+        ];
+        let s = estimate(&c, &jobs);
+        let r0 = s.job_rate_gbps(JobId(0)).unwrap();
+        let r1 = s.job_rate_gbps(JobId(1)).unwrap();
+        assert!((r0 - r1).abs() < 1e-6);
+        // PAT exhausts at rate 20 each (2 jobs x 20 = 40); then each PS
+        // link has 2 flows over the remaining 80 Gbps => +40 => 60.
+        assert!((r0 - 60.0).abs() < 1e-6, "rate {r0}");
+        assert_eq!(s.pat_residual_gbps(RackId(0)), 0.0);
+    }
+
+    #[test]
+    fn local_jobs_report_infinite_rate_and_consume_nothing() {
+        let c = cluster(1, 2, 1000.0);
+        let local = PlacedJob::new(JobId(7), &c, &Placement::local(ServerId(0), 4));
+        let s = estimate(&c, &[local]);
+        assert_eq!(s.job_rate_gbps(JobId(7)), Some(f64::INFINITY));
+        assert_eq!(s.server_available_gbps(ServerId(0)), 100.0);
+        assert_eq!(s.num_jobs(), 1);
+    }
+
+    #[test]
+    fn ina_disabled_job_does_not_draw_pat() {
+        let c = cluster(1, 3, 50.0);
+        let mut p = Placement::new(vec![(ServerId(0), 1), (ServerId(1), 1)], Some(ServerId(2)));
+        p.set_ina_enabled(false);
+        let jobs = [PlacedJob::new(JobId(0), &c, &p)];
+        let s = estimate(&c, &jobs);
+        // 2 unaggregated flows on the PS link from the start: rate 50.
+        let rate = s.job_rate_gbps(JobId(0)).unwrap();
+        assert!((rate - 50.0).abs() < 1e-6, "rate {rate}");
+        assert_eq!(s.pat_residual_gbps(RackId(0)), 50.0);
+    }
+
+    #[test]
+    fn cross_rack_job_is_limited_by_the_uplink_when_oversubscribed() {
+        let spec = ClusterSpec {
+            racks: 2,
+            servers_per_rack: 2,
+            gpus_per_server: 4,
+            server_link_gbps: 100.0,
+            pat_gbps: 0.0,
+            oversubscription: 10.0,
+            rtt_us: 50.0,
+        };
+        spec.validate().unwrap();
+        let c = Cluster::new(spec);
+        // Uplink capacity = 2*100/10 = 20 Gbps. One worker in each rack,
+        // PS in rack 0, no INA (PAT 0).
+        let jobs = [job(0, &c, vec![(0, 1), (2, 1)], 1)];
+        let s = estimate(&c, &jobs);
+        let rate = s.job_rate_gbps(JobId(0)).unwrap();
+        // The remote worker's flow crosses both uplinks (1 flow each):
+        // bottleneck 20 Gbps.
+        assert!((rate - 20.0).abs() < 1e-6, "rate {rate}");
+    }
+
+    #[test]
+    fn empty_job_set_leaves_cluster_untouched() {
+        let c = cluster(2, 2, 100.0);
+        let s = estimate(&c, &[]);
+        assert_eq!(s.num_jobs(), 0);
+        for srv in 0..c.num_servers() {
+            assert_eq!(s.server_available_gbps(ServerId(srv)), 100.0);
+            assert_eq!(s.server_flows(ServerId(srv)), 0);
+        }
+    }
+
+    #[test]
+    fn asymmetric_jobs_get_max_min_not_equal_shares() {
+        let c = cluster(1, 4, 100_000.0);
+        // Job 0: PS shares server 3 with job 1's PS; job 0 has 2 workers on
+        // server 0 (its worker link has 2 flows -> bottleneck 50); job 1
+        // has 1 worker on server 1 and 1 on server 2.
+        let jobs = [
+            job(0, &c, vec![(0, 2)], 3),
+            job(1, &c, vec![(1, 1), (2, 1)], 3),
+        ];
+        let s = estimate(&c, &jobs);
+        let r0 = s.job_rate_gbps(JobId(0)).unwrap();
+        let r1 = s.job_rate_gbps(JobId(1)).unwrap();
+        // Job 0 freezes at 50 (its own worker link). Job 1 then takes the
+        // rest of the PS link: both aggregated streams share 100, job 0
+        // holds 50, job 1 gets 50 too... but its own links allow 100, so
+        // the PS link is the binding constraint for both at 50.
+        assert!((r0 - 50.0).abs() < 1e-6, "r0 {r0}");
+        assert!((r1 - 50.0).abs() < 1e-6, "r1 {r1}");
+
+        // Now give job 0 a dedicated PS: job 1 should claim more.
+        let jobs = [job(0, &c, vec![(0, 2)], 3), job(1, &c, vec![(1, 1)], 2)];
+        let s = estimate(&c, &jobs);
+        let r0 = s.job_rate_gbps(JobId(0)).unwrap();
+        let r1 = s.job_rate_gbps(JobId(1)).unwrap();
+        assert!((r0 - 50.0).abs() < 1e-6, "r0 {r0}");
+        assert!((r1 - 100.0).abs() < 1e-6, "r1 {r1}");
+    }
+
+    #[test]
+    fn residuals_are_never_negative() {
+        let c = cluster(2, 4, 30.0);
+        let jobs = [
+            job(0, &c, vec![(0, 2), (4, 2)], 1),
+            job(1, &c, vec![(2, 1), (5, 1)], 6),
+            job(2, &c, vec![(3, 4)], 7),
+        ];
+        let s = estimate(&c, &jobs);
+        for l in 0..c.num_links() {
+            let link = LinkId::from_index(l, &c);
+            assert!(
+                s.link_residual_gbps(link, &c) >= 0.0,
+                "negative residual on {link}"
+            );
+        }
+        for r in 0..c.num_racks() {
+            assert!(s.pat_residual_gbps(RackId(r)) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn every_network_job_is_bottlenecked_by_a_saturated_link() {
+        let c = cluster(2, 4, 500.0);
+        let jobs = [
+            job(0, &c, vec![(0, 2), (4, 2)], 1),
+            job(1, &c, vec![(2, 1), (5, 1)], 6),
+        ];
+        let s = estimate(&c, &jobs);
+        for pj in &jobs {
+            let h = pj.hierarchy().unwrap();
+            let agg = |r: RackId| s.rack_aggregating(r);
+            let saturated = h.link_flows(agg).iter().any(|&(l, f)| {
+                f > 0 && s.link_residual_gbps(l, &c) <= 1e-6
+            });
+            assert!(saturated, "job {} not bottlenecked", pj.id());
+        }
+    }
+}
+
+#[cfg(test)]
+mod sharded_tests {
+    use super::*;
+    use netpack_topology::{ClusterSpec, ServerId};
+
+    #[test]
+    fn sharding_relieves_a_ps_link_bottleneck() {
+        // 8 workers on two servers, PS-side the bottleneck. With one PS the
+        // aggregated stream still shares the PS access link with nothing,
+        // so disable INA to expose the fan-in bottleneck.
+        let c = Cluster::new(ClusterSpec {
+            racks: 1,
+            servers_per_rack: 4,
+            gpus_per_server: 4,
+            pat_gbps: 0.0,
+            ..ClusterSpec::paper_default()
+        });
+        let mut single = Placement::new(
+            vec![(ServerId(0), 4), (ServerId(1), 4)],
+            Some(ServerId(2)),
+        );
+        single.set_ina_enabled(false);
+        let s1 = estimate(&c, &[PlacedJob::new(JobId(0), &c, &single)]);
+        let r1 = s1.job_rate_gbps(JobId(0)).unwrap();
+        // 8 unaggregated flows into one 100 Gbps PS link: 12.5 Gbps each.
+        assert!((r1 - 12.5).abs() < 1e-6, "single-PS rate {r1}");
+        assert!((s1.comm_time_s(JobId(0), 10.0).unwrap() - 10.0 / 12.5).abs() < 1e-9);
+
+        let mut sharded = Placement::new_sharded(
+            vec![(ServerId(0), 4), (ServerId(1), 4)],
+            vec![ServerId(2), ServerId(3)],
+        );
+        sharded.set_ina_enabled(false);
+        let job = PlacedJob::new(JobId(1), &c, &sharded);
+        assert_eq!(job.components().len(), 2);
+        assert_eq!(job.shards(), 2);
+        let s2 = estimate(&c, &[job]);
+        let r2 = s2.job_rate_gbps(JobId(1)).unwrap();
+        // Each worker now runs 2 shard flows (one per PS): worker links
+        // carry 8 flows (4 workers x 2 shards) and each PS link carries 8.
+        // Bottleneck per shard flow: 100/8 = 12.5, but the gradient is
+        // halved per shard, so communication time halves.
+        assert!((r2 - 12.5).abs() < 1e-6, "sharded per-shard rate {r2}");
+        let t1 = s1.comm_time_s(JobId(0), 10.0).unwrap();
+        let t2 = s2.comm_time_s(JobId(1), 10.0).unwrap();
+        assert!(
+            (t2 - t1 / 2.0).abs() < 1e-9,
+            "sharding must halve comm time: {t1} vs {t2}"
+        );
+    }
+
+    #[test]
+    fn shard_count_survives_into_the_steady_state() {
+        let c = Cluster::new(ClusterSpec {
+            racks: 1,
+            servers_per_rack: 4,
+            gpus_per_server: 4,
+            ..ClusterSpec::paper_default()
+        });
+        let sharded = Placement::new_sharded(
+            vec![(ServerId(0), 2), (ServerId(1), 2)],
+            vec![ServerId(2), ServerId(3)],
+        );
+        let s = estimate(&c, &[PlacedJob::new(JobId(0), &c, &sharded)]);
+        assert_eq!(s.job_shards(JobId(0)), Some(2));
+        let local = PlacedJob::new(JobId(1), &c, &Placement::local(ServerId(0), 2));
+        let s = estimate(&c, &[local]);
+        assert_eq!(s.job_shards(JobId(1)), Some(1));
+        assert_eq!(s.comm_time_s(JobId(1), 5.0), Some(0.0));
+    }
+}

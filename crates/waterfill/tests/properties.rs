@@ -1,0 +1,163 @@
+//! Property-based tests for the water-filling estimator's invariants.
+
+use netpack_model::Placement;
+use netpack_topology::{Cluster, ClusterSpec, JobId, LinkId, RackId, ServerId};
+use netpack_waterfill::{estimate, PlacedJob};
+use proptest::prelude::*;
+
+/// Generate a random small cluster spec.
+fn arb_cluster() -> impl Strategy<Value = Cluster> {
+    (1usize..4, 2usize..6, 1usize..5, 0u32..3, 1u32..5).prop_map(
+        |(racks, spr, gps, pat_scale, oversub)| {
+            Cluster::new(ClusterSpec {
+                racks,
+                servers_per_rack: spr,
+                gpus_per_server: gps,
+                server_link_gbps: 100.0,
+                pat_gbps: 50.0 * pat_scale as f64,
+                oversubscription: oversub as f64,
+                rtt_us: 50.0,
+            })
+        },
+    )
+}
+
+/// Generate random placements onto a given cluster (may be local or
+/// distributed, INA on or off).
+fn arb_jobs(cluster: &Cluster) -> impl Strategy<Value = Vec<PlacedJob>> {
+    let ns = cluster.num_servers();
+    let cluster = cluster.clone();
+    let job = (
+        proptest::collection::btree_map(0..ns, 1usize..4, 1..4.min(ns + 1)),
+        0..ns,
+        any::<bool>(),
+    );
+    proptest::collection::vec(job, 1..8).prop_map(move |raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (workers, ps, ina))| {
+                let workers: Vec<(ServerId, usize)> =
+                    workers.into_iter().map(|(s, w)| (ServerId(s), w)).collect();
+                let mut p = Placement::new(workers, Some(ServerId(ps)));
+                p.set_ina_enabled(ina);
+                PlacedJob::new(JobId(i as u64), &cluster, &p)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Residual bandwidth and PAT never go negative, and every job gets a
+    /// finite non-negative rate (or infinite for local jobs).
+    #[test]
+    fn residuals_and_rates_are_well_formed(
+        (cluster, jobs) in arb_cluster().prop_flat_map(|c| {
+            let jobs = arb_jobs(&c);
+            (Just(c), jobs)
+        })
+    ) {
+        let state = estimate(&cluster, &jobs);
+        for l in 0..cluster.num_links() {
+            let link = LinkId::from_index(l, &cluster);
+            let res = state.link_residual_gbps(link, &cluster);
+            prop_assert!(res >= 0.0, "negative residual {res} on {link}");
+            prop_assert!(res <= link.capacity_gbps(&cluster) + 1e-6);
+        }
+        for r in 0..cluster.num_racks() {
+            let res = state.pat_residual_gbps(RackId(r));
+            prop_assert!(res >= 0.0);
+            prop_assert!(res <= cluster.spec().pat_gbps + 1e-6);
+        }
+        for job in &jobs {
+            let rate = state.job_rate_gbps(job.id()).expect("rate for every job");
+            if job.hierarchy().is_none() {
+                prop_assert!(rate.is_infinite());
+            } else {
+                prop_assert!(rate.is_finite() && rate >= 0.0);
+            }
+        }
+    }
+
+    /// Max-min certificate: every network job crosses at least one
+    /// saturated link in the converged state (otherwise its rate could
+    /// still grow, contradicting max-min fairness).
+    #[test]
+    fn every_network_job_is_bottlenecked(
+        (cluster, jobs) in arb_cluster().prop_flat_map(|c| {
+            let jobs = arb_jobs(&c);
+            (Just(c), jobs)
+        })
+    ) {
+        let state = estimate(&cluster, &jobs);
+        for job in &jobs {
+            if let Some(h) = job.hierarchy() {
+                let flows = h.link_flows(|r| state.rack_aggregating(r));
+                let bottlenecked = flows.iter().any(|&(l, f)| {
+                    f > 0 && state.link_residual_gbps(l, &cluster) <= 1e-6
+                });
+                prop_assert!(bottlenecked, "job {} has slack everywhere", job.id());
+            }
+        }
+    }
+
+    /// A job running alone gets at least the rate it gets in any crowd
+    /// (competitors only consume bandwidth and PAT). Note that *pairwise*
+    /// monotonicity does not hold for max-min fairness: adding a job can
+    /// freeze one competitor earlier and thereby raise a third job's share.
+    #[test]
+    fn solo_rate_upper_bounds_shared_rate(
+        (cluster, jobs) in arb_cluster().prop_flat_map(|c| {
+            let jobs = arb_jobs(&c);
+            (Just(c), jobs)
+        })
+    ) {
+        let shared = estimate(&cluster, &jobs);
+        for job in &jobs {
+            let solo = estimate(&cluster, std::slice::from_ref(job));
+            let rs = shared.job_rate_gbps(job.id()).unwrap();
+            let ra = solo.job_rate_gbps(job.id()).unwrap();
+            if ra.is_finite() {
+                prop_assert!(rs <= ra + 1e-6, "job {} shared {rs} > solo {ra}", job.id());
+            }
+        }
+    }
+
+    /// Scale invariance: doubling all capacities (links and PAT) doubles
+    /// every finite steady rate.
+    #[test]
+    fn rates_scale_linearly_with_capacity(
+        (spec_seed, raw_jobs) in (1usize..3, 2usize..5).prop_flat_map(|(racks, spr)| {
+            let spec = ClusterSpec {
+                racks,
+                servers_per_rack: spr,
+                gpus_per_server: 4,
+                server_link_gbps: 100.0,
+                pat_gbps: 75.0,
+                oversubscription: 2.0,
+                rtt_us: 50.0,
+            };
+            let c = Cluster::new(spec.clone());
+            let jobs = arb_jobs(&c);
+            (Just(spec), jobs)
+        })
+    ) {
+        let c1 = Cluster::new(spec_seed.clone());
+        let c2 = Cluster::new(ClusterSpec {
+            server_link_gbps: spec_seed.server_link_gbps * 2.0,
+            pat_gbps: spec_seed.pat_gbps * 2.0,
+            ..spec_seed
+        });
+        // Placements reference server ids valid in both clusters.
+        let s1 = estimate(&c1, &raw_jobs);
+        let s2 = estimate(&c2, &raw_jobs);
+        for job in &raw_jobs {
+            let r1 = s1.job_rate_gbps(job.id()).unwrap();
+            let r2 = s2.job_rate_gbps(job.id()).unwrap();
+            if r1.is_finite() {
+                prop_assert!((r2 - 2.0 * r1).abs() < 1e-5, "{r1} vs {r2}");
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! The six-model DNN pool used by the paper's evaluation (§6.1).
+
+use std::fmt;
+
+/// One of the six deep-learning models in the paper's workload pool.
+///
+/// The pool spans communication-intensive models (the VGG family, whose
+/// dense classifier layers dominate gradient volume) and computation-
+/// intensive ones (the ResNet family). Gradient sizes follow the models'
+/// published fp32 parameter counts; per-iteration compute times are
+/// calibrated to an RTX 2080Ti at batch size 32 per GPU, matching the
+/// paper's testbed hardware class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ModelKind {
+    /// VGG-11: 132.9 M parameters.
+    Vgg11,
+    /// VGG-16: 138.4 M parameters (the paper's communication-intensive pick).
+    Vgg16,
+    /// VGG-19: 143.7 M parameters.
+    Vgg19,
+    /// AlexNet: 61.1 M parameters, very fast per iteration.
+    AlexNet,
+    /// ResNet-50: 25.6 M parameters (the paper's computation-intensive pick).
+    ResNet50,
+    /// ResNet-101: 44.5 M parameters.
+    ResNet101,
+}
+
+impl ModelKind {
+    /// All six models, in a stable order.
+    pub const ALL: [ModelKind; 6] = [
+        ModelKind::Vgg11,
+        ModelKind::Vgg16,
+        ModelKind::Vgg19,
+        ModelKind::AlexNet,
+        ModelKind::ResNet50,
+        ModelKind::ResNet101,
+    ];
+
+    /// Number of fp32 parameters, in millions.
+    pub fn params_millions(self) -> f64 {
+        match self {
+            ModelKind::Vgg11 => 132.9,
+            ModelKind::Vgg16 => 138.4,
+            ModelKind::Vgg19 => 143.7,
+            ModelKind::AlexNet => 61.1,
+            ModelKind::ResNet50 => 25.6,
+            ModelKind::ResNet101 => 44.5,
+        }
+    }
+
+    /// Size of one full gradient exchange in gigabits (fp32).
+    ///
+    /// This is the `d^(j)` ("model size") of the paper's MIP formulation
+    /// (Table 2): every worker sends this much per iteration.
+    pub fn gradient_gbits(self) -> f64 {
+        // params * 4 bytes * 8 bits / 1e9
+        self.params_millions() * 1e6 * 32.0 / 1e9
+    }
+
+    /// Per-GPU computation time of one iteration, in seconds, at batch
+    /// size 32 on an RTX 2080Ti-class GPU.
+    pub fn compute_time_s(self) -> f64 {
+        match self {
+            ModelKind::Vgg11 => 0.175,
+            ModelKind::Vgg16 => 0.255,
+            ModelKind::Vgg19 => 0.310,
+            ModelKind::AlexNet => 0.032,
+            ModelKind::ResNet50 => 0.205,
+            ModelKind::ResNet101 => 0.360,
+        }
+    }
+
+    /// Communication-to-computation pressure: gradient gigabits per second
+    /// of compute. Higher values benefit more from INA.
+    pub fn comm_intensity(self) -> f64 {
+        self.gradient_gbits() / self.compute_time_s()
+    }
+
+    /// Short lowercase name (matches the figures' x-axis labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Vgg11 => "vgg11",
+            ModelKind::Vgg16 => "vgg16",
+            ModelKind::Vgg19 => "vgg19",
+            ModelKind::AlexNet => "alexnet",
+            ModelKind::ResNet50 => "resnet50",
+            ModelKind::ResNet101 => "resnet101",
+        }
+    }
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gradient_size_matches_parameter_count() {
+        // VGG16: 138.4M params * 4B = 553.6 MB = 4.4288 Gbit.
+        let g = ModelKind::Vgg16.gradient_gbits();
+        assert!((g - 4.4288).abs() < 1e-9, "got {g}");
+    }
+
+    #[test]
+    fn vgg16_is_more_comm_intensive_than_resnet50() {
+        assert!(ModelKind::Vgg16.comm_intensity() > ModelKind::ResNet50.comm_intensity());
+    }
+
+    #[test]
+    fn all_models_have_positive_calibration() {
+        for m in ModelKind::ALL {
+            assert!(m.gradient_gbits() > 0.0);
+            assert!(m.compute_time_s() > 0.0);
+            assert!(!m.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = ModelKind::ALL.iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ModelKind::ALL.len());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(ModelKind::AlexNet.to_string(), "alexnet");
+    }
+}

@@ -1,0 +1,355 @@
+//! Job-trace synthesis: the paper's "Real", Poisson, and Normal traces.
+
+use crate::{Job, ModelKind};
+use netpack_topology::JobId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which of the three §6.1 trace families to synthesize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// Production-like trace matching the published Microsoft Philly
+    /// characteristics: GPU demands concentrated on small powers of two,
+    /// heavy-tailed (log-normal) durations, bursty arrivals. Labelled
+    /// "Real" in the paper's figures.
+    Real,
+    /// GPU demands drawn from a Poisson distribution (mean 4), exponential
+    /// arrivals.
+    Poisson,
+    /// GPU demands drawn from a normal distribution (mean 8, std 4),
+    /// exponential arrivals.
+    Normal,
+}
+
+impl TraceKind {
+    /// All trace kinds, in figure order.
+    pub const ALL: [TraceKind; 3] = [TraceKind::Real, TraceKind::Poisson, TraceKind::Normal];
+
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceKind::Real => "Real",
+            TraceKind::Poisson => "Poisson",
+            TraceKind::Normal => "Normal",
+        }
+    }
+}
+
+impl std::fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Configuration for synthesizing a [`Trace`].
+///
+/// # Example
+///
+/// ```
+/// use netpack_workload::{TraceKind, TraceSpec};
+///
+/// let trace = TraceSpec::new(TraceKind::Poisson, 50)
+///     .seed(42)
+///     .mean_interarrival_s(30.0)
+///     .max_gpus(16)
+///     .generate();
+/// assert_eq!(trace.jobs().len(), 50);
+/// assert!(trace.jobs().iter().all(|j| j.gpus <= 16));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceSpec {
+    kind: TraceKind,
+    jobs: usize,
+    seed: u64,
+    mean_interarrival_s: f64,
+    duration_scale: f64,
+    max_gpus: usize,
+}
+
+impl TraceSpec {
+    /// Create a spec for `jobs` jobs of the given trace family.
+    pub fn new(kind: TraceKind, jobs: usize) -> Self {
+        TraceSpec {
+            kind,
+            jobs,
+            seed: 1,
+            mean_interarrival_s: 60.0,
+            duration_scale: 1.0,
+            max_gpus: 64,
+        }
+    }
+
+    /// Seed the deterministic RNG (default 1).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Mean inter-arrival time in seconds (default 60).
+    pub fn mean_interarrival_s(mut self, s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "inter-arrival must be >= 0");
+        self.mean_interarrival_s = s;
+        self
+    }
+
+    /// Multiply every job's target duration (and hence iteration count) by
+    /// this factor (default 1.0). Useful to shorten experiments.
+    pub fn duration_scale(mut self, scale: f64) -> Self {
+        assert!(scale.is_finite() && scale > 0.0, "scale must be positive");
+        self.duration_scale = scale;
+        self
+    }
+
+    /// Clamp GPU demands to this maximum (default 64). Set it to the
+    /// cluster's largest feasible job to avoid unplaceable requests.
+    pub fn max_gpus(mut self, max: usize) -> Self {
+        assert!(max >= 1, "max_gpus must be at least 1");
+        self.max_gpus = max;
+        self
+    }
+
+    /// Synthesize the trace. Deterministic for a given spec.
+    pub fn generate(&self) -> Trace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut jobs = Vec::with_capacity(self.jobs);
+        let mut clock = 0.0f64;
+        let mut burst_left = 0usize;
+        for i in 0..self.jobs {
+            // Arrivals: Real is bursty (several jobs at nearly the same
+            // time, as resubmissions and sweeps do in production); the
+            // synthetic traces use plain exponential arrivals.
+            if self.mean_interarrival_s > 0.0 {
+                match self.kind {
+                    TraceKind::Real => {
+                        if burst_left == 0 {
+                            burst_left = rng.gen_range(1..=5);
+                            clock += sample_exp(&mut rng, self.mean_interarrival_s * 2.0);
+                        } else {
+                            clock += sample_exp(&mut rng, self.mean_interarrival_s * 0.05);
+                        }
+                        burst_left -= 1;
+                    }
+                    _ => clock += sample_exp(&mut rng, self.mean_interarrival_s),
+                }
+            }
+            let gpus = self.sample_gpus(&mut rng);
+            let model = ModelKind::ALL[rng.gen_range(0..ModelKind::ALL.len())];
+            let duration_s = self.sample_duration_s(&mut rng);
+            // Convert the target duration into iterations assuming the
+            // ideal (communication-free) iteration time; the realized JCT
+            // then depends on placement, which is exactly what we measure.
+            let iterations = (duration_s / model.compute_time_s()).ceil().max(1.0) as u64;
+            jobs.push(
+                Job::builder(JobId(i as u64), model, gpus)
+                    .iterations(iterations)
+                    .arrival_s(clock)
+                    .value(1.0)
+                    .build(),
+            );
+        }
+        Trace { jobs }
+    }
+
+    fn sample_gpus(&self, rng: &mut StdRng) -> usize {
+        let raw = match self.kind {
+            TraceKind::Real => {
+                // Published Philly demand profile: dominated by 1-8 GPU
+                // jobs with a thin tail of large sweeps.
+                let p: f64 = rng.gen();
+                match p {
+                    p if p < 0.45 => 1,
+                    p if p < 0.60 => 2,
+                    p if p < 0.80 => 4,
+                    p if p < 0.92 => 8,
+                    p if p < 0.975 => 16,
+                    p if p < 0.995 => 32,
+                    _ => 64,
+                }
+            }
+            TraceKind::Poisson => sample_poisson(rng, 4.0).max(1) as usize,
+            TraceKind::Normal => sample_normal(rng, 8.0, 4.0).round().max(1.0) as usize,
+        };
+        raw.clamp(1, self.max_gpus)
+    }
+
+    fn sample_duration_s(&self, rng: &mut StdRng) -> f64 {
+        // Heavy-tailed log-normal durations for all traces (the synthetic
+        // traces in the paper vary only the GPU-demand distribution).
+        // Median ~= 8 min with a long tail, Philly-like.
+        let ln = sample_normal(rng, (480.0f64).ln(), 1.1);
+        (ln.exp() * self.duration_scale).clamp(30.0 * self.duration_scale, 86_400.0)
+    }
+}
+
+/// A synthesized job trace, sorted by arrival time.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    jobs: Vec<Job>,
+}
+
+impl Trace {
+    /// Build a trace directly from jobs (sorted by arrival time).
+    pub fn from_jobs(mut jobs: Vec<Job>) -> Self {
+        jobs.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s));
+        Trace { jobs }
+    }
+
+    /// The jobs, in arrival order.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Consume the trace and return its jobs.
+    pub fn into_jobs(self) -> Vec<Job> {
+        self.jobs
+    }
+
+    /// Total GPU demand across all jobs.
+    pub fn total_gpu_demand(&self) -> usize {
+        self.jobs.iter().map(|j| j.gpus).sum()
+    }
+}
+
+/// Exponential sample with the given mean.
+fn sample_exp(rng: &mut StdRng, mean: f64) -> f64 {
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -mean * u.ln()
+}
+
+/// Standard Box-Muller normal sample.
+fn sample_normal(rng: &mut StdRng, mean: f64, std: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    mean + std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Knuth Poisson sample (fine for the small lambdas we use).
+fn sample_poisson(rng: &mut StdRng, lambda: f64) -> u64 {
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_deterministic_per_seed() {
+        let a = TraceSpec::new(TraceKind::Real, 200).seed(5).generate();
+        let b = TraceSpec::new(TraceKind::Real, 200).seed(5).generate();
+        let c = TraceSpec::new(TraceKind::Real, 200).seed(6).generate();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_nonnegative() {
+        for kind in TraceKind::ALL {
+            let t = TraceSpec::new(kind, 300).seed(3).generate();
+            let mut last = 0.0;
+            for j in t.jobs() {
+                assert!(j.arrival_s >= last, "{kind} arrivals must be monotone");
+                last = j.arrival_s;
+            }
+        }
+    }
+
+    #[test]
+    fn real_trace_demands_are_powers_of_two() {
+        let t = TraceSpec::new(TraceKind::Real, 500).seed(11).generate();
+        for j in t.jobs() {
+            assert!(j.gpus.is_power_of_two(), "got {}", j.gpus);
+        }
+    }
+
+    #[test]
+    fn real_trace_is_dominated_by_small_jobs() {
+        let t = TraceSpec::new(TraceKind::Real, 2000).seed(1).generate();
+        let small = t.jobs().iter().filter(|j| j.gpus <= 8).count();
+        assert!(small as f64 / 2000.0 > 0.85, "small fraction {small}/2000");
+    }
+
+    #[test]
+    fn poisson_demands_center_near_lambda() {
+        let t = TraceSpec::new(TraceKind::Poisson, 4000).seed(2).generate();
+        let mean =
+            t.jobs().iter().map(|j| j.gpus as f64).sum::<f64>() / t.jobs().len() as f64;
+        assert!((mean - 4.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_demands_center_near_mean() {
+        let t = TraceSpec::new(TraceKind::Normal, 4000).seed(2).generate();
+        let mean =
+            t.jobs().iter().map(|j| j.gpus as f64).sum::<f64>() / t.jobs().len() as f64;
+        assert!((mean - 8.0).abs() < 0.8, "mean {mean}");
+    }
+
+    #[test]
+    fn max_gpus_clamps_demands() {
+        let t = TraceSpec::new(TraceKind::Real, 1000)
+            .seed(9)
+            .max_gpus(8)
+            .generate();
+        assert!(t.jobs().iter().all(|j| j.gpus <= 8));
+    }
+
+    #[test]
+    fn duration_scale_shrinks_iterations() {
+        let long = TraceSpec::new(TraceKind::Real, 100).seed(4).generate();
+        let short = TraceSpec::new(TraceKind::Real, 100)
+            .seed(4)
+            .duration_scale(0.1)
+            .generate();
+        let sum_long: u64 = long.jobs().iter().map(|j| j.iterations).sum();
+        let sum_short: u64 = short.jobs().iter().map(|j| j.iterations).sum();
+        assert!(sum_short < sum_long);
+    }
+
+    #[test]
+    fn zero_interarrival_packs_all_jobs_at_time_zero() {
+        let t = TraceSpec::new(TraceKind::Poisson, 40)
+            .seed(2)
+            .mean_interarrival_s(0.0)
+            .generate();
+        assert!(t.jobs().iter().all(|j| j.arrival_s == 0.0));
+    }
+
+    #[test]
+    fn from_jobs_sorts_by_arrival() {
+        let j1 = Job::builder(JobId(0), ModelKind::AlexNet, 1)
+            .arrival_s(10.0)
+            .build();
+        let j2 = Job::builder(JobId(1), ModelKind::AlexNet, 1)
+            .arrival_s(5.0)
+            .build();
+        let t = Trace::from_jobs(vec![j1, j2]);
+        assert_eq!(t.jobs()[0].id, JobId(1));
+        assert_eq!(t.total_gpu_demand(), 2);
+    }
+
+    #[test]
+    fn samplers_produce_reasonable_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let exp_mean: f64 = (0..n).map(|_| sample_exp(&mut rng, 3.0)).sum::<f64>() / n as f64;
+        assert!((exp_mean - 3.0).abs() < 0.1, "exp mean {exp_mean}");
+        let norm_mean: f64 =
+            (0..n).map(|_| sample_normal(&mut rng, 1.0, 2.0)).sum::<f64>() / n as f64;
+        assert!((norm_mean - 1.0).abs() < 0.1, "normal mean {norm_mean}");
+        let pois_mean: f64 =
+            (0..n).map(|_| sample_poisson(&mut rng, 6.0) as f64).sum::<f64>() / n as f64;
+        assert!((pois_mean - 6.0).abs() < 0.1, "poisson mean {pois_mean}");
+    }
+}

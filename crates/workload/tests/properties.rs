@@ -1,0 +1,66 @@
+//! Property tests for trace synthesis.
+
+use netpack_workload::{TraceKind, TraceSpec};
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = TraceKind> {
+    prop_oneof![
+        Just(TraceKind::Real),
+        Just(TraceKind::Poisson),
+        Just(TraceKind::Normal),
+    ]
+}
+
+proptest! {
+    /// Every generated trace honours its spec: job count, GPU clamp,
+    /// monotone arrivals, positive iterations, unique ids.
+    #[test]
+    fn generated_traces_are_well_formed(
+        kind in arb_kind(),
+        jobs in 1usize..200,
+        seed in 0u64..1000,
+        max_gpus in 1usize..64,
+        interarrival in 0.0f64..120.0,
+    ) {
+        let trace = TraceSpec::new(kind, jobs)
+            .seed(seed)
+            .max_gpus(max_gpus)
+            .mean_interarrival_s(interarrival)
+            .generate();
+        prop_assert_eq!(trace.jobs().len(), jobs);
+        let mut last = 0.0f64;
+        let mut ids = std::collections::HashSet::new();
+        for j in trace.jobs() {
+            prop_assert!(j.gpus >= 1 && j.gpus <= max_gpus);
+            prop_assert!(j.iterations >= 1);
+            prop_assert!(j.arrival_s >= last);
+            prop_assert!(j.value > 0.0);
+            prop_assert!(ids.insert(j.id), "duplicate id {:?}", j.id);
+            last = j.arrival_s;
+        }
+    }
+
+    /// Determinism: identical specs generate identical traces.
+    #[test]
+    fn generation_is_deterministic(kind in arb_kind(), seed in 0u64..1000) {
+        let build = || TraceSpec::new(kind, 50).seed(seed).generate();
+        prop_assert_eq!(build(), build());
+    }
+
+    /// The duration scale shrinks total work roughly proportionally.
+    #[test]
+    fn duration_scale_is_roughly_linear(seed in 0u64..200) {
+        let base = TraceSpec::new(TraceKind::Real, 100).seed(seed).generate();
+        let tenth = TraceSpec::new(TraceKind::Real, 100)
+            .seed(seed)
+            .duration_scale(0.1)
+            .generate();
+        let sum = |t: &netpack_workload::Trace| -> f64 {
+            t.jobs().iter().map(|j| j.iterations as f64).sum()
+        };
+        let ratio = sum(&tenth) / sum(&base);
+        // Floors (minimum duration, ceil to one iteration) make the tail
+        // of the shrunken trace relatively heavier, so allow a wide band.
+        prop_assert!(ratio < 0.35, "scale 0.1 left ratio {ratio}");
+    }
+}

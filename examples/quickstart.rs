@@ -1,0 +1,75 @@
+//! Quickstart: place one batch of jobs with NetPack and inspect the plan.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use netpack::prelude::*;
+
+fn main() {
+    // The paper's testbed: one rack, five 2-GPU servers, 100 Gbps links,
+    // a statistical-INA ToR switch.
+    let cluster = Cluster::new(ClusterSpec::paper_testbed());
+    println!(
+        "cluster: {} servers, {} GPUs, {:.0} Gbps links, {:.0} Gbps PAT",
+        cluster.num_servers(),
+        cluster.total_gpus(),
+        cluster.spec().server_link_gbps,
+        cluster.spec().pat_gbps,
+    );
+
+    // Three jobs: a communication-heavy VGG16, a compute-heavy ResNet50,
+    // and a small AlexNet job.
+    let batch = vec![
+        Job::builder(JobId(0), ModelKind::Vgg16, 4).build(),
+        Job::builder(JobId(1), ModelKind::ResNet50, 4).build(),
+        Job::builder(JobId(2), ModelKind::AlexNet, 2).build(),
+    ];
+
+    let mut placer = NetPackPlacer::default();
+    let outcome = placer.place_batch(&cluster, &[], &batch);
+
+    let mut table = TextTable::new(vec!["job", "model", "gpus", "workers", "ps", "ina"]);
+    for (job, placement) in &outcome.placed {
+        let workers: Vec<String> = placement
+            .workers()
+            .iter()
+            .map(|(s, w)| format!("{s}x{w}"))
+            .collect();
+        table.row(vec![
+            job.id.to_string(),
+            job.model.to_string(),
+            job.gpus.to_string(),
+            workers.join(","),
+            placement
+                .ps()
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "-".into()),
+            if placement.is_local() {
+                "local".into()
+            } else if placement.ina_enabled() {
+                "on".into()
+            } else {
+                "off".into()
+            },
+        ]);
+    }
+    println!("\nplacement decisions:\n{table}");
+
+    // Estimate the converged steady state of the placed jobs.
+    let placed: Vec<PlacedJob> = outcome
+        .placed
+        .iter()
+        .map(|(j, p)| PlacedJob::new(j.id, &cluster, p))
+        .collect();
+    let state = estimate(&cluster, &placed);
+    println!("steady-state per-worker rates:");
+    for (job, _) in &outcome.placed {
+        let rate = state.job_rate_gbps(job.id).unwrap();
+        if rate.is_infinite() {
+            println!("  {}: local (no network traffic)", job.id);
+        } else {
+            println!("  {}: {rate:.1} Gbps", job.id);
+        }
+    }
+}

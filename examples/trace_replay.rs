@@ -1,0 +1,66 @@
+//! Replay a production-like trace under every placer and compare the
+//! paper's two metrics (average JCT, distribution efficiency).
+//!
+//! ```sh
+//! cargo run --release --example trace_replay
+//! ```
+
+use netpack::prelude::*;
+
+fn main() {
+    let spec = ClusterSpec {
+        racks: 4,
+        servers_per_rack: 8,
+        gpus_per_server: 4,
+        ..ClusterSpec::paper_default()
+    };
+    let trace = TraceSpec::new(TraceKind::Real, 80)
+        .seed(7)
+        .duration_scale(0.05)
+        .max_gpus(spec.total_gpus() / 4)
+        .generate();
+    println!(
+        "trace: {} jobs, {} total GPUs demanded, cluster of {} GPUs",
+        trace.jobs().len(),
+        trace.total_gpu_demand(),
+        spec.total_gpus(),
+    );
+
+    let placers: Vec<Box<dyn Placer>> = vec![
+        Box::new(NetPackPlacer::default()),
+        Box::new(GpuBalance),
+        Box::new(FlowBalance),
+        Box::new(LeastFragmentation),
+        Box::new(OptimusLike),
+        Box::new(TetrisLike),
+    ];
+
+    let mut table = TextTable::new(vec!["placer", "avg JCT (s)", "norm JCT", "DE"]);
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    for placer in placers {
+        let name = placer.name().to_string();
+        let sim = Simulation::new(Cluster::new(spec.clone()), placer, SimConfig::default());
+        let result = sim.run(&trace);
+        assert!(
+            result.unfinished.is_empty(),
+            "{name}: {} unfinished jobs",
+            result.unfinished.len()
+        );
+        rows.push((
+            name,
+            result.average_jct_s().expect("jobs finished"),
+            result.distribution_efficiency().expect("jobs finished"),
+        ));
+    }
+    let netpack_jct = rows[0].1;
+    for (name, jct, de) in rows {
+        table.row(vec![
+            name,
+            format!("{jct:.1}"),
+            format!("{:.3}", jct / netpack_jct),
+            format!("{de:.3}"),
+        ]);
+    }
+    println!("\n{table}");
+    println!("norm JCT is relative to NetPack (lower is worse for NetPack's rivals).");
+}
