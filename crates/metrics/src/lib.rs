@@ -14,10 +14,18 @@
 //! bars), the linear regression used by the Fig. 6 simulator-validation
 //! plot, and a plain-text table renderer shared by all figure binaries.
 
+//!
+//! Since the placement fast path landed, the crate also hosts the
+//! [`PerfCounters`] profiling surface: named counters and phase timers the
+//! placer fills while scoring candidates, rendered through the same
+//! [`TextTable`] as everything else.
+
+mod perf;
 mod regression;
 mod stats;
 mod table;
 
+pub use perf::PerfCounters;
 pub use regression::{linear_fit, LinearFit};
 pub use stats::{normalize_to, Summary};
 pub use table::TextTable;

@@ -1,0 +1,200 @@
+//! Lightweight perf counters and phase timers for placement-time profiling.
+//!
+//! The placement fast path (incremental water-filling + parallel candidate
+//! scoring) is justified by numbers, so the scorer records how much work it
+//! did — water-fill invocations, cache hits, candidate plans scored — and
+//! how long each phase took. [`PerfCounters`] is that recording surface:
+//! a set of named monotonic counters plus named wall-clock timers, rendered
+//! through the same [`TextTable`](crate::TextTable) the figure binaries
+//! already use so before/after numbers land next to the benchmark output.
+//!
+//! Names are free-form `&'static str`s; `BTreeMap` storage keeps render
+//! order deterministic. The struct is plain data — cloning snapshots it,
+//! [`merge`](PerfCounters::merge) folds one snapshot into another (used to
+//! aggregate per-batch counters into a run total).
+//!
+//! # Example
+//!
+//! ```
+//! use netpack_metrics::PerfCounters;
+//! use std::time::Duration;
+//!
+//! let mut perf = PerfCounters::new();
+//! perf.incr("waterfill_solves", 3);
+//! perf.incr("cache_hits", 5);
+//! let answer = perf.time("scoring", || 6 * 7);
+//! assert_eq!(answer, 42);
+//! assert_eq!(perf.counter("waterfill_solves"), 3);
+//! assert_eq!(perf.timer_count("scoring"), 1);
+//! let rendered = perf.to_table().render();
+//! assert!(rendered.contains("cache_hits"));
+//! assert!(rendered.contains("scoring"));
+//! ```
+
+use crate::TextTable;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Named monotonic counters and wall-clock phase timers.
+///
+/// See the [module docs](self) for the intended use. All operations are
+/// infallible; reading a name that was never written returns zero.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PerfCounters {
+    counters: BTreeMap<&'static str, u64>,
+    timers: BTreeMap<&'static str, TimerSlot>,
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct TimerSlot {
+    total: Duration,
+    count: u64,
+}
+
+impl PerfCounters {
+    /// An empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `by` to the counter `name` (creating it at zero).
+    pub fn incr(&mut self, name: &'static str, by: u64) {
+        *self.counters.entry(name).or_insert(0) += by;
+    }
+
+    /// Current value of counter `name` (zero if never incremented).
+    pub fn counter(&self, name: &'static str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Run `f`, recording its wall-clock time under the timer `name`.
+    pub fn time<R>(&mut self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.record(name, start.elapsed());
+        out
+    }
+
+    /// Fold an externally-measured duration into the timer `name`.
+    pub fn record(&mut self, name: &'static str, elapsed: Duration) {
+        let slot = self.timers.entry(name).or_default();
+        slot.total += elapsed;
+        slot.count += 1;
+    }
+
+    /// Total wall-clock accumulated under the timer `name`.
+    pub fn timer_total(&self, name: &'static str) -> Duration {
+        self.timers.get(name).map(|s| s.total).unwrap_or_default()
+    }
+
+    /// Number of intervals recorded under the timer `name`.
+    pub fn timer_count(&self, name: &'static str) -> u64 {
+        self.timers.get(name).map(|s| s.count).unwrap_or(0)
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.timers.is_empty()
+    }
+
+    /// Reset every counter and timer to zero while keeping the instance.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.timers.clear();
+    }
+
+    /// Fold `other`'s counters and timers into `self`.
+    pub fn merge(&mut self, other: &PerfCounters) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += v;
+        }
+        for (name, slot) in &other.timers {
+            let mine = self.timers.entry(name).or_default();
+            mine.total += slot.total;
+            mine.count += slot.count;
+        }
+    }
+
+    /// Render every counter and timer as a [`TextTable`] with columns
+    /// `metric | value | count | mean`. Counters fill only `value`;
+    /// timers report total milliseconds, interval count, and mean
+    /// microseconds per interval.
+    pub fn to_table(&self) -> TextTable {
+        let mut t = TextTable::new(vec!["metric", "value", "count", "mean"]);
+        for (name, v) in &self.counters {
+            t.row(vec![(*name).to_string(), v.to_string(), String::new(), String::new()]);
+        }
+        for (name, slot) in &self.timers {
+            let total_ms = slot.total.as_secs_f64() * 1e3;
+            let mean_us = if slot.count == 0 {
+                0.0
+            } else {
+                slot.total.as_secs_f64() * 1e6 / slot.count as f64
+            };
+            t.row(vec![
+                format!("{name} (ms)"),
+                format!("{total_ms:.3}"),
+                slot.count.to_string(),
+                format!("{mean_us:.1} us"),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut p = PerfCounters::new();
+        assert!(p.is_empty());
+        assert_eq!(p.counter("x"), 0);
+        p.incr("x", 2);
+        p.incr("x", 3);
+        assert_eq!(p.counter("x"), 5);
+        assert!(!p.is_empty());
+        p.clear();
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn timers_record_count_and_total() {
+        let mut p = PerfCounters::new();
+        let out = p.time("phase", || 7);
+        assert_eq!(out, 7);
+        p.record("phase", Duration::from_millis(2));
+        assert_eq!(p.timer_count("phase"), 2);
+        assert!(p.timer_total("phase") >= Duration::from_millis(2));
+        assert_eq!(p.timer_count("absent"), 0);
+        assert_eq!(p.timer_total("absent"), Duration::ZERO);
+    }
+
+    #[test]
+    fn merge_folds_both_kinds() {
+        let mut a = PerfCounters::new();
+        a.incr("hits", 1);
+        a.record("solve", Duration::from_millis(1));
+        let mut b = PerfCounters::new();
+        b.incr("hits", 4);
+        b.incr("misses", 2);
+        b.record("solve", Duration::from_millis(3));
+        a.merge(&b);
+        assert_eq!(a.counter("hits"), 5);
+        assert_eq!(a.counter("misses"), 2);
+        assert_eq!(a.timer_count("solve"), 2);
+        assert_eq!(a.timer_total("solve"), Duration::from_millis(4));
+    }
+
+    #[test]
+    fn table_renders_counters_and_timers() {
+        let mut p = PerfCounters::new();
+        p.incr("plans_scored", 12);
+        p.record("scoring", Duration::from_micros(1500));
+        let rendered = p.to_table().render();
+        assert!(rendered.contains("plans_scored"));
+        assert!(rendered.contains("12"));
+        assert!(rendered.contains("scoring (ms)"));
+    }
+}

@@ -36,6 +36,36 @@
 //! assert_eq!(outcome.placed.len(), 1);
 //! assert!(outcome.deferred.is_empty());
 //! ```
+//!
+//! # Placement-time fast path
+//!
+//! Scoring a batch is the scheduler's hot loop: Algorithm 2 re-estimates
+//! the water-filled steady state before every job and scores every
+//! `(plan, PS server)` pair. [`NetPackPlacer`] therefore defaults to
+//! [`ScoringMode::Fast`], which keeps the steady state warm between jobs
+//! (re-solving only the resource component each placement touches),
+//! memoizes the Equation-1 hot-spot term per candidate plan, and fans plan
+//! scoring out across threads — all **bit-identical** to the
+//! [`ScoringMode::Sequential`] reference, as pinned by the
+//! `fast_and_sequential_scoring_agree` property test. The work saved is
+//! visible through [`NetPackPlacer::perf`]:
+//!
+//! ```
+//! use netpack_topology::{Cluster, ClusterSpec, JobId};
+//! use netpack_workload::{Job, ModelKind};
+//! use netpack_placement::{NetPackPlacer, Placer};
+//!
+//! let cluster = Cluster::new(ClusterSpec::paper_testbed());
+//! let batch: Vec<Job> = (0..3)
+//!     .map(|i| Job::builder(JobId(i), ModelKind::Vgg16, 4).build())
+//!     .collect();
+//! let mut placer = NetPackPlacer::default();
+//! placer.place_batch(&cluster, &[], &batch);
+//! let perf = placer.perf();
+//! assert!(perf.counter("plans_considered") > 0);
+//! assert_eq!(perf.timer_count("place_batch"), 1);
+//! println!("{}", perf.to_table().render());
+//! ```
 
 mod baselines;
 mod dp;
@@ -49,6 +79,6 @@ pub use baselines::{FlowBalance, GpuBalance, LeastFragmentation, RandomPlacer};
 pub use dp::{ServerStats, WorkerDp, WorkerPlan};
 pub use exact::ExactPlacer;
 pub use knapsack::select_job_subset;
-pub use netpack::{HotSpotTerm, InaPolicy, NetPackConfig, NetPackPlacer};
+pub use netpack::{HotSpotTerm, InaPolicy, NetPackConfig, NetPackPlacer, ScoringMode};
 pub use placer::{batch_comm_time_s, BatchOutcome, Placer, RunningJob};
 pub use prior::{Comb, OptimusLike, TetrisLike};

@@ -1,12 +1,37 @@
 //! The NetPack placer — the paper's Algorithm 2.
 
-use crate::dp::{ServerStats, WorkerDp};
+use crate::dp::{ServerStats, WorkerDp, WorkerPlan};
 use crate::knapsack::select_job_subset;
 use crate::placer::{BatchOutcome, Placer, RunningJob};
+use netpack_metrics::PerfCounters;
 use netpack_model::{JobHierarchy, Placement};
 use netpack_topology::{Cluster, RackId, ServerId};
-use netpack_waterfill::{estimate, PlacedJob, SteadyState};
+use netpack_waterfill::{estimate, IncrementalEstimator, PlacedJob, SteadyState};
 use netpack_workload::Job;
+use std::time::Instant;
+
+/// Minimum candidate-plan count before [`ScoringMode::Fast`] fans scoring
+/// out across threads; below this the spawn overhead dominates.
+const PARALLEL_PLAN_THRESHOLD: usize = 8;
+
+/// Result of scoring a run of plans: the best `(score, plan index, PS
+/// server)` found (if any plan had a candidate), plus the hot-spot memo
+/// hit/miss counts accumulated along the way.
+type ChunkScore = (Option<(f64, usize, ServerId)>, u64, u64);
+
+/// Per-thread scratch for fast plan scoring (see
+/// `NetPackPlacer::score_plan`): reused across plans so the hot loop is
+/// allocation-free.
+struct ScoreBuffers {
+    chosen_mask: Vec<bool>,
+    rack_workers: Vec<(RackId, u32)>,
+    /// `(rack, f_max) -> hot-spot term` memo, bucketed by rack (outer
+    /// index) so each lookup scans only that rack's few distinct `f_max`
+    /// values. Cleared per plan.
+    memo: Vec<Vec<(u32, f64)>>,
+    hits: u64,
+    misses: u64,
+}
 
 /// How the PS-placement score treats the hot-spot term of Equation 1.
 ///
@@ -40,6 +65,32 @@ pub enum InaPolicy {
     AlwaysOff,
 }
 
+/// How the placer runs the scoring-time machinery of Algorithm 2.
+///
+/// Both modes produce **bit-identical** [`Placement`]s — the fast path is
+/// an implementation optimization, not a heuristic, and the property test
+/// `fast_and_sequential_scoring_agree` pins the equivalence. The modes
+/// differ only in how much work they do:
+///
+/// * [`Fast`](ScoringMode::Fast) re-solves only the water-filling
+///   component each placed job touches ([`IncrementalEstimator`]),
+///   memoizes the Equation-1 hot-spot term per candidate plan, evaluates
+///   candidate plans on multiple threads when the host has them, and
+///   reuses the final steady state for the INA-enable step;
+/// * [`Sequential`](ScoringMode::Sequential) re-runs Algorithm 1 from
+///   scratch before every job and scores plans in one nested loop, exactly
+///   as Algorithm 2 is written — the reference the fast path is checked
+///   against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScoringMode {
+    /// Incremental water-filling + memoized, parallel plan scoring
+    /// (the default).
+    #[default]
+    Fast,
+    /// From-scratch water-filling and straight-line scoring (reference).
+    Sequential,
+}
+
 /// Tunable knobs of [`NetPackPlacer`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct NetPackConfig {
@@ -57,6 +108,9 @@ pub struct NetPackConfig {
     /// gradient over the k best-scoring PS locations, relieving PS-side
     /// fan-in bottlenecks at the cost of extra flows.
     pub pses_per_job: usize,
+    /// Scoring implementation (see [`ScoringMode`]); placements are
+    /// identical either way.
+    pub scoring: ScoringMode,
 }
 
 impl Default for NetPackConfig {
@@ -67,6 +121,7 @@ impl Default for NetPackConfig {
             fs_max: 16,
             flow_dimension: true,
             pses_per_job: 1,
+            scoring: ScoringMode::default(),
         }
     }
 }
@@ -84,17 +139,36 @@ impl Default for NetPackConfig {
 #[derive(Debug, Clone, Default)]
 pub struct NetPackPlacer {
     config: NetPackConfig,
+    perf: PerfCounters,
 }
 
 impl NetPackPlacer {
     /// Placer with explicit configuration.
     pub fn new(config: NetPackConfig) -> Self {
-        NetPackPlacer { config }
+        NetPackPlacer {
+            config,
+            perf: PerfCounters::new(),
+        }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &NetPackConfig {
         &self.config
+    }
+
+    /// Perf counters accumulated over every `place_batch` call so far:
+    /// water-fill work (`waterfill_*`), candidate-scoring volume
+    /// (`plans_considered`, `ps_candidates_scored`), hot-spot memo
+    /// effectiveness (`hotspot_memo_*`), and phase timers
+    /// (`place_batch`, `ps_scoring`, `waterfill_solve`).
+    pub fn perf(&self) -> &PerfCounters {
+        &self.perf
+    }
+
+    /// Move the accumulated perf counters out, leaving a fresh set —
+    /// what the benches call between measurement windows.
+    pub fn take_perf(&mut self) -> PerfCounters {
+        std::mem::take(&mut self.perf)
     }
 
     /// Heuristic value of a server (Algorithm 2 line 16):
@@ -112,6 +186,7 @@ impl NetPackPlacer {
         scratch: &Cluster,
         state: &SteadyState,
         job: &Job,
+        perf: &mut PerfCounters,
     ) -> Option<Placement> {
         // Single-server shortcut (lines 4-6): prefer the tightest fit,
         // breaking ties toward the most residual bandwidth.
@@ -154,56 +229,30 @@ impl NetPackPlacer {
             WorkerDp::without_flow_dimension()
         };
         let slack = scratch.spec().gpus_per_server;
+        let dp_start = Instant::now();
         let plans = dp.plans(&stats, job.gpus, slack);
+        perf.record("worker_dp", dp_start.elapsed());
         if plans.is_empty() {
             return None;
         }
 
         // PSPlacement: exhaust (plan, server) pairs.
-        let mut chosen_mask = vec![false; scratch.num_servers()];
-        let mut best: Option<(f64, usize, ServerId)> = None;
-        for (pi, plan) in plans.iter().enumerate() {
-            for m in chosen_mask.iter_mut() {
-                *m = false;
+        perf.incr("plans_considered", plans.len() as u64);
+        perf.incr(
+            "ps_candidates_scored",
+            (plans.len() * scratch.num_servers()) as u64,
+        );
+        let scoring_start = Instant::now();
+        let best = match self.config.scoring {
+            ScoringMode::Sequential => self.score_plans_sequential(scratch, state, capacity, &plans),
+            ScoringMode::Fast => {
+                let (best, hits, misses) = self.score_plans_fast(scratch, state, capacity, &plans);
+                perf.incr("hotspot_memo_hits", hits);
+                perf.incr("hotspot_memo_misses", misses);
+                best
             }
-            for s in &plan.servers {
-                chosen_mask[s.0] = true;
-            }
-            // Per-plan rack worker summary for the oversubscription term.
-            let mut rack_workers: Vec<(RackId, u32)> = Vec::new();
-            for &sid in &plan.servers {
-                let r = scratch.rack_of(sid);
-                let w = scratch.server(sid).expect("plan server").gpus_free() as u32;
-                match rack_workers.iter_mut().find(|(rr, _)| *rr == r) {
-                    Some(e) => e.1 += w,
-                    None => rack_workers.push((r, w)),
-                }
-            }
-            for server in scratch.servers() {
-                let sid = server.id();
-                let eps: u32 = u32::from(!chosen_mask[sid.0]);
-                // Flows the PS would share its access link with: existing
-                // steady-state flows plus this plan's own workers on the
-                // server (the job's gradient streams are flows too — a PS
-                // stacked on the busiest worker server is the hot-spot the
-                // paper's penalty is after).
-                let own_workers = if chosen_mask[sid.0] {
-                    server.gpus_free() as u32
-                } else {
-                    0
-                };
-                let s_flows = state.server_flows(sid) + own_workers;
-                let f_max = plan.max_flows.max(s_flows + eps);
-                let avail = state.server_available_gbps(sid);
-                let base = plan.value + avail
-                    - (capacity - avail) / (f64::from(s_flows + eps) + 1.0);
-                let term = self.hotspot_term(scratch, state, &rack_workers, sid, f_max);
-                let score = base + term;
-                if best.is_none_or(|(b, _, _)| score > b) {
-                    best = Some((score, pi, sid));
-                }
-            }
-        }
+        };
+        perf.record("ps_scoring", scoring_start.elapsed());
         let (_, pi, ps) = best?;
         let plan = &plans[pi];
 
@@ -213,21 +262,11 @@ impl NetPackPlacer {
         let pses = if self.config.pses_per_job <= 1 {
             vec![ps]
         } else {
-            for m in chosen_mask.iter_mut() {
-                *m = false;
-            }
+            let mut chosen_mask = vec![false; scratch.num_servers()];
             for s in &plan.servers {
                 chosen_mask[s.0] = true;
             }
-            let mut rack_workers: Vec<(RackId, u32)> = Vec::new();
-            for &sid in &plan.servers {
-                let r = scratch.rack_of(sid);
-                let w = scratch.server(sid).expect("plan server").gpus_free() as u32;
-                match rack_workers.iter_mut().find(|(rr, _)| *rr == r) {
-                    Some(e) => e.1 += w,
-                    None => rack_workers.push((r, w)),
-                }
-            }
+            let rack_workers = Self::plan_rack_workers(scratch, plan);
             let mut scored: Vec<(f64, ServerId)> = scratch
                 .servers()
                 .iter()
@@ -290,6 +329,247 @@ impl NetPackPlacer {
         Some(Placement::new_sharded(workers, pses))
     }
 
+    /// Per-rack worker totals of one candidate plan, in first-seen order
+    /// (the oversubscription term's input).
+    fn plan_rack_workers(scratch: &Cluster, plan: &WorkerPlan) -> Vec<(RackId, u32)> {
+        let mut rack_workers: Vec<(RackId, u32)> = Vec::new();
+        for &sid in &plan.servers {
+            let r = scratch.rack_of(sid);
+            let w = scratch.server(sid).expect("plan server").gpus_free() as u32;
+            match rack_workers.iter_mut().find(|(rr, _)| *rr == r) {
+                Some(e) => e.1 += w,
+                None => rack_workers.push((r, w)),
+            }
+        }
+        rack_workers
+    }
+
+    /// Reference PS scoring: one nested loop over (plan, server) pairs,
+    /// exactly as Algorithm 2 is written. The first strictly-greater score
+    /// wins, so the winner is the earliest maximum in scan order.
+    fn score_plans_sequential(
+        &self,
+        scratch: &Cluster,
+        state: &SteadyState,
+        capacity: f64,
+        plans: &[WorkerPlan],
+    ) -> Option<(f64, usize, ServerId)> {
+        let mut chosen_mask = vec![false; scratch.num_servers()];
+        let mut best: Option<(f64, usize, ServerId)> = None;
+        for (pi, plan) in plans.iter().enumerate() {
+            for m in chosen_mask.iter_mut() {
+                *m = false;
+            }
+            for s in &plan.servers {
+                chosen_mask[s.0] = true;
+            }
+            let rack_workers = Self::plan_rack_workers(scratch, plan);
+            for server in scratch.servers() {
+                let sid = server.id();
+                let eps: u32 = u32::from(!chosen_mask[sid.0]);
+                // Flows the PS would share its access link with: existing
+                // steady-state flows plus this plan's own workers on the
+                // server (the job's gradient streams are flows too — a PS
+                // stacked on the busiest worker server is the hot-spot the
+                // paper's penalty is after).
+                let own_workers = if chosen_mask[sid.0] {
+                    server.gpus_free() as u32
+                } else {
+                    0
+                };
+                let s_flows = state.server_flows(sid) + own_workers;
+                let f_max = plan.max_flows.max(s_flows + eps);
+                let avail = state.server_available_gbps(sid);
+                let base = plan.value + avail
+                    - (capacity - avail) / (f64::from(s_flows + eps) + 1.0);
+                let term = self.hotspot_term(scratch, state, &rack_workers, sid, f_max);
+                let score = base + term;
+                if best.is_none_or(|(b, _, _)| score > b) {
+                    best = Some((score, pi, sid));
+                }
+            }
+        }
+        best
+    }
+
+    /// Reusable scratch buffers for fast plan scoring — one per scoring
+    /// thread, so per-plan work allocates nothing.
+    fn scoring_buffers(scratch: &Cluster) -> ScoreBuffers {
+        ScoreBuffers {
+            chosen_mask: vec![false; scratch.num_servers()],
+            rack_workers: Vec::new(),
+            memo: vec![Vec::new(); scratch.num_racks()],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Score every PS candidate of one plan, memoizing the hot-spot term.
+    ///
+    /// For a fixed plan the Equation-1 term depends on the PS server only
+    /// through its rack and the resulting `f_max`, so candidate shapes
+    /// repeat heavily (every idle server of a rack shares one
+    /// `(rack, f_max)` key). Candidates in the plan's own (single) rack
+    /// take a division-only inline path — memoizing there would cost more
+    /// than the term. Cross-rack candidates, whose term walks every rack
+    /// uplink the job crosses, go through the memo: one bucket per rack,
+    /// each a linear-scan `Vec` over that rack's few distinct `f_max`
+    /// values (scanning a handful of entries beats hashing, and bucketing
+    /// keeps scans short even when flow counts vary across a big
+    /// cluster). Returns the plan's best
+    /// `(score, server)` under the same first-strictly-greater rule the
+    /// reference scorer uses.
+    fn score_plan(
+        &self,
+        scratch: &Cluster,
+        state: &SteadyState,
+        capacity: f64,
+        plan: &WorkerPlan,
+        buf: &mut ScoreBuffers,
+    ) -> (f64, ServerId) {
+        buf.chosen_mask.fill(false);
+        for s in &plan.servers {
+            buf.chosen_mask[s.0] = true;
+        }
+        buf.rack_workers.clear();
+        for &sid in &plan.servers {
+            let r = scratch.rack_of(sid);
+            let w = scratch.server(sid).expect("plan server").gpus_free() as u32;
+            match buf.rack_workers.iter_mut().find(|(rr, _)| *rr == r) {
+                Some(e) => e.1 += w,
+                None => buf.rack_workers.push((r, w)),
+            }
+        }
+        for bucket in &mut buf.memo {
+            bucket.clear();
+        }
+        // A PS candidate is "cross-rack" iff some worker sits in another
+        // rack; with the single-rack common case precomputed the check is
+        // one comparison per candidate.
+        let multi_rack = buf.rack_workers.len() > 1;
+        let plan_rack = buf.rack_workers.first().map(|&(r, _)| r);
+        let link_capacity = scratch.spec().server_link_gbps;
+        let mut best: Option<(f64, ServerId)> = None;
+        for server in scratch.servers() {
+            let sid = server.id();
+            let eps: u32 = u32::from(!buf.chosen_mask[sid.0]);
+            let own_workers = if buf.chosen_mask[sid.0] {
+                server.gpus_free() as u32
+            } else {
+                0
+            };
+            let s_flows = state.server_flows(sid) + own_workers;
+            let f_max = plan.max_flows.max(s_flows + eps);
+            let avail = state.server_available_gbps(sid);
+            let base =
+                plan.value + avail - (capacity - avail) / (f64::from(s_flows + eps) + 1.0);
+            let ps_rack = scratch.rack_of(sid);
+            let term = if multi_rack || plan_rack != Some(ps_rack) {
+                match buf.memo[ps_rack.0].iter().find(|(k, _)| *k == f_max) {
+                    Some(&(_, t)) => {
+                        buf.hits += 1;
+                        t
+                    }
+                    None => {
+                        buf.misses += 1;
+                        let t =
+                            self.hotspot_term(scratch, state, &buf.rack_workers, sid, f_max);
+                        buf.memo[ps_rack.0].push((f_max, t));
+                        t
+                    }
+                }
+            } else {
+                self.hotspot_flat(link_capacity, f_max)
+            };
+            let score = base + term;
+            if best.is_none_or(|(b, _)| score > b) {
+                best = Some((score, sid));
+            }
+        }
+        best.expect("cluster has at least one server")
+    }
+
+    /// Fast PS scoring: plans are scored independently (memoized via
+    /// [`score_plan`](Self::score_plan)) and, when the host has multiple
+    /// cores and the plan list is long enough, on multiple threads.
+    ///
+    /// Chunk results are merged in ascending plan order with the same
+    /// strictly-greater rule as the reference scorer, so the returned
+    /// winner — and therefore the final [`Placement`] — is bit-identical
+    /// to [`score_plans_sequential`](Self::score_plans_sequential)
+    /// regardless of thread count.
+    fn score_plans_fast(
+        &self,
+        scratch: &Cluster,
+        state: &SteadyState,
+        capacity: f64,
+        plans: &[WorkerPlan],
+    ) -> ChunkScore {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(plans.len());
+        let mut best: Option<(f64, usize, ServerId)> = None;
+        if threads <= 1 || plans.len() < PARALLEL_PLAN_THRESHOLD {
+            let mut buf = Self::scoring_buffers(scratch);
+            for (pi, plan) in plans.iter().enumerate() {
+                let (score, sid) = self.score_plan(scratch, state, capacity, plan, &mut buf);
+                if best.is_none_or(|(b, _, _)| score > b) {
+                    best = Some((score, pi, sid));
+                }
+            }
+            return (best, buf.hits, buf.misses);
+        }
+        let chunk = plans.len().div_ceil(threads);
+        let results: Vec<ChunkScore> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = plans
+                    .chunks(chunk)
+                    .enumerate()
+                    .map(|(ci, chunk_plans)| {
+                        scope.spawn(move || {
+                            let mut buf = Self::scoring_buffers(scratch);
+                            let mut best: Option<(f64, usize, ServerId)> = None;
+                            for (off, plan) in chunk_plans.iter().enumerate() {
+                                let (score, sid) =
+                                    self.score_plan(scratch, state, capacity, plan, &mut buf);
+                                if best.is_none_or(|(b, _, _)| score > b) {
+                                    best = Some((score, ci * chunk + off, sid));
+                                }
+                            }
+                            (best, buf.hits, buf.misses)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("scoring thread panicked"))
+                    .collect()
+            });
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for (chunk_best, h, m) in results {
+            hits += h;
+            misses += m;
+            if let Some((score, pi, sid)) = chunk_best {
+                if best.is_none_or(|(b, _, _)| score > b) {
+                    best = Some((score, pi, sid));
+                }
+            }
+        }
+        (best, hits, misses)
+    }
+
+    /// The Equation-1 term when the plan and PS share a rack: a single
+    /// division, no uplinks crossed. Split out so the memoized scorer can
+    /// answer the common case inline with the exact same float operations
+    /// as [`hotspot_term`](Self::hotspot_term).
+    fn hotspot_flat(&self, capacity: f64, f_max: u32) -> f64 {
+        match self.config.hotspot {
+            HotSpotTerm::PaperLiteral => -(capacity / f64::from(f_max.max(1))),
+            HotSpotTerm::RewardBottleneckShare => capacity / (f64::from(f_max) + 1.0),
+        }
+    }
+
     /// The Equation-1 hot-spot / oversubscription term.
     fn hotspot_term(
         &self,
@@ -300,24 +580,21 @@ impl NetPackPlacer {
         f_max: u32,
     ) -> f64 {
         let capacity = cluster.spec().server_link_gbps;
-        let share = capacity / (f64::from(f_max) + 1.0);
         let ps_rack = cluster.rack_of(ps);
         let cross_rack = rack_workers.iter().any(|&(r, _)| r != ps_rack);
+        if !cross_rack {
+            return self.hotspot_flat(capacity, f_max);
+        }
+        let share = capacity / (f64::from(f_max) + 1.0);
         match self.config.hotspot {
             HotSpotTerm::PaperLiteral => {
                 let literal = capacity / f64::from(f_max.max(1));
-                if !cross_rack {
-                    return -literal;
-                }
                 let worst = self
                     .rack_shares(cluster, state, rack_workers, ps_rack)
                     .fold(share, f64::max);
                 -worst.max(literal)
             }
             HotSpotTerm::RewardBottleneckShare => {
-                if !cross_rack {
-                    return share;
-                }
                 self.rack_shares(cluster, state, rack_workers, ps_rack)
                     .fold(share, f64::min)
             }
@@ -358,11 +635,18 @@ impl NetPackPlacer {
     }
 
     /// Step 4: selective INA enabling by aggregation efficiency.
+    ///
+    /// `cached` is the steady state over running + placed jobs with batch
+    /// placements still INA-enabled, when the caller already has it (the
+    /// fast path's incremental estimator ends the batch holding exactly
+    /// this state); `None` recomputes it from scratch.
     fn enable_ina(
         &self,
         cluster: &Cluster,
         running: &[RunningJob],
         placed: &mut [(Job, Placement)],
+        cached: Option<&SteadyState>,
+        perf: &mut PerfCounters,
     ) {
         match self.config.ina_policy {
             InaPolicy::AlwaysOn => return, // placements start INA-enabled
@@ -376,11 +660,24 @@ impl NetPackPlacer {
         }
         // Steady state with everything (running + batch, INA all-on) to
         // obtain each job's throughput for the AE metric.
-        let mut all: Vec<PlacedJob> = running.iter().map(|r| r.to_placed(cluster)).collect();
-        for (job, p) in placed.iter() {
-            all.push(PlacedJob::new(job.id, cluster, p));
-        }
-        let state = estimate(cluster, &all);
+        let owned: SteadyState;
+        let state: &SteadyState = match cached {
+            Some(s) => {
+                perf.incr("ina_estimate_reused", 1);
+                s
+            }
+            None => {
+                let start = Instant::now();
+                let mut all: Vec<PlacedJob> =
+                    running.iter().map(|r| r.to_placed(cluster)).collect();
+                for (job, p) in placed.iter() {
+                    all.push(PlacedJob::new(job.id, cluster, p));
+                }
+                owned = estimate(cluster, &all);
+                perf.record("waterfill_solve", start.elapsed());
+                &owned
+            }
+        };
 
         // Budget per rack: PAT minus what running INA jobs already draw.
         let mut budget: Vec<f64> = cluster.racks().iter().map(|r| r.pat_gbps()).collect();
@@ -454,6 +751,10 @@ impl Placer for NetPackPlacer {
         running: &[RunningJob],
         batch: &[Job],
     ) -> BatchOutcome {
+        // Counters are taken out of `self` so `place_one` (which borrows
+        // `self` immutably) can record into them, then put back.
+        let mut perf = std::mem::take(&mut self.perf);
+        let batch_start = Instant::now();
         let mut outcome = BatchOutcome::default();
         // Step 1: FindSubset.
         let subset = select_job_subset(batch, cluster.free_gpus());
@@ -468,26 +769,74 @@ impl Placer for NetPackPlacer {
         ordered.sort_by(|a, b| b.value.total_cmp(&a.value).then(a.id.cmp(&b.id)));
 
         let mut scratch = cluster.clone();
-        let mut active: Vec<PlacedJob> = running.iter().map(|r| r.to_placed(cluster)).collect();
-        for job in ordered {
-            // Step 2-3 need the current steady state (rerun per job: the
-            // fair shares shift as the batch lands, Algorithm 2 line 7).
-            let state = estimate(&scratch, &active);
-            match self.place_one(&scratch, &state, job) {
-                Some(placement) => {
-                    for &(s, w) in placement.workers() {
-                        scratch
-                            .allocate_gpus(s, w)
-                            .expect("DP placed within free GPUs");
+        match self.config.scoring {
+            ScoringMode::Fast => {
+                // Steps 2-3 with the incremental estimator: each placed
+                // job re-solves only the water-filling component it
+                // touches; everything else stays cached.
+                let running_placed: Vec<PlacedJob> =
+                    running.iter().map(|r| r.to_placed(cluster)).collect();
+                let start = Instant::now();
+                let mut inc = IncrementalEstimator::new(&scratch, &running_placed);
+                perf.record("waterfill_solve", start.elapsed());
+                for job in ordered {
+                    match self.place_one(&scratch, inc.state(), job, &mut perf) {
+                        Some(placement) => {
+                            for &(s, w) in placement.workers() {
+                                scratch
+                                    .allocate_gpus(s, w)
+                                    .expect("DP placed within free GPUs");
+                            }
+                            let start = Instant::now();
+                            inc.push(&scratch, PlacedJob::new(job.id, &scratch, &placement));
+                            perf.record("waterfill_solve", start.elapsed());
+                            outcome.placed.push((job.clone(), placement));
+                        }
+                        None => outcome.deferred.push(job.clone()),
                     }
-                    active.push(PlacedJob::new(job.id, &scratch, &placement));
-                    outcome.placed.push((job.clone(), placement));
                 }
-                None => outcome.deferred.push(job.clone()),
+                let stats = *inc.stats();
+                perf.incr("waterfill_pushes", stats.pushes);
+                perf.incr("waterfill_jobs_resolved", stats.jobs_resolved);
+                perf.incr("waterfill_jobs_reused", stats.jobs_reused);
+                perf.incr("waterfill_components_solved", stats.components_solved);
+                // Step 4: the estimator already holds the steady state over
+                // running + placed (batch placements still INA-on) — reuse.
+                self.enable_ina(cluster, running, &mut outcome.placed, Some(inc.state()), &mut perf);
+            }
+            ScoringMode::Sequential => {
+                let mut active: Vec<PlacedJob> =
+                    running.iter().map(|r| r.to_placed(cluster)).collect();
+                for job in ordered {
+                    // Steps 2-3 need the current steady state (rerun per
+                    // job: the fair shares shift as the batch lands,
+                    // Algorithm 2 line 7).
+                    perf.incr(
+                        "waterfill_jobs_resolved",
+                        active.iter().filter(|j| j.is_network()).count() as u64,
+                    );
+                    let start = Instant::now();
+                    let state = estimate(&scratch, &active);
+                    perf.record("waterfill_solve", start.elapsed());
+                    match self.place_one(&scratch, &state, job, &mut perf) {
+                        Some(placement) => {
+                            for &(s, w) in placement.workers() {
+                                scratch
+                                    .allocate_gpus(s, w)
+                                    .expect("DP placed within free GPUs");
+                            }
+                            active.push(PlacedJob::new(job.id, &scratch, &placement));
+                            outcome.placed.push((job.clone(), placement));
+                        }
+                        None => outcome.deferred.push(job.clone()),
+                    }
+                }
+                // Step 4: selective INA enabling across the new placements.
+                self.enable_ina(cluster, running, &mut outcome.placed, None, &mut perf);
             }
         }
-        // Step 4: selective INA enabling across the newly placed jobs.
-        self.enable_ina(cluster, running, &mut outcome.placed);
+        perf.record("place_batch", batch_start.elapsed());
+        self.perf = perf;
         outcome
     }
 }
@@ -609,6 +958,105 @@ mod tests {
         // 3 spanning jobs at ~tens of Gbps each cannot all fit in 30 Gbps
         // of PAT; selective enabling must turn at least one off.
         assert!(enabled < 3, "expected selective disabling, got {enabled}");
+    }
+
+    /// Regression pin for the budget arithmetic in `enable_ina`
+    /// ("Enable INA ... until using up the switch memory"): the *marginal*
+    /// job is allowed to overshoot the remaining PAT budget — slots are
+    /// shared statistically, not reserved — but every job ordered after a
+    /// fully-spoken-for switch must be turned off. Net effect: per switch,
+    /// the enabled jobs' total draw exceeds the PAT budget by strictly
+    /// less than one job's rate.
+    #[test]
+    fn selective_ina_overshoots_by_at_most_one_job() {
+        let c = Cluster::new(ClusterSpec {
+            racks: 1,
+            servers_per_rack: 9,
+            gpus_per_server: 4,
+            pat_gbps: 50.0,
+            ..ClusterSpec::paper_default()
+        });
+        // Three identical spanning jobs: 2 workers + 1 PS each, disjoint
+        // servers, all sharing the one switch's 50 Gbps PAT pool.
+        let mk = |i: usize| {
+            let job = Job::builder(JobId(i as u64), ModelKind::Vgg16, 2).build();
+            let p = Placement::new(
+                vec![(ServerId(3 * i), 1), (ServerId(3 * i + 1), 1)],
+                Some(ServerId(3 * i + 2)),
+            );
+            (job, p)
+        };
+        let mut placed = vec![mk(0), mk(1), mk(2)];
+        let placer = NetPackPlacer::default();
+        placer.enable_ina(
+            &c,
+            &[],
+            &mut placed,
+            None,
+            &mut netpack_metrics::PerfCounters::new(),
+        );
+
+        // The AE metric uses the all-INA-on steady state; by symmetry all
+        // three jobs converge to the same rate, and 50 Gbps of PAT shared
+        // three ways exhausts below it, so each job alone exceeds the
+        // whole budget.
+        let all: Vec<netpack_waterfill::PlacedJob> = (0..3)
+            .map(|i| netpack_waterfill::PlacedJob::new(JobId(i), &c, &mk(i as usize).1))
+            .collect();
+        let state = estimate(&c, &all);
+        let rate = state.job_rate_gbps(JobId(0)).unwrap();
+        assert!(rate > 50.0, "test premise: one job overshoots alone, rate {rate}");
+
+        // The marginal (first, highest-AE) job must still be enabled —
+        // a positive budget admits it even though its draw exceeds the
+        // budget — and every later job must be cut.
+        let enabled: Vec<f64> = placed
+            .iter()
+            .filter(|(_, p)| p.ina_enabled())
+            .map(|(j, _)| state.job_rate_gbps(j.id).unwrap())
+            .collect();
+        assert_eq!(enabled.len(), 1, "exactly the marginal job stays on");
+        assert!(placed[0].1.ina_enabled(), "ties break toward the lowest id");
+
+        // The pinned invariant: remove the last-admitted job and the rest
+        // fits in the budget — overshoot is at most one job deep.
+        let total: f64 = enabled.iter().sum();
+        let min_enabled = enabled.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(total > 50.0, "the marginal job is allowed to overshoot");
+        assert!(total - min_enabled <= 50.0 + 1e-9);
+
+        // With a budget big enough for one-and-a-bit jobs, two are
+        // admitted (the second being the overshooting marginal one) and
+        // the third is cut: overshoot still at most one job deep.
+        let c2 = Cluster::new(ClusterSpec {
+            racks: 1,
+            servers_per_rack: 9,
+            gpus_per_server: 4,
+            pat_gbps: 120.0,
+            ..ClusterSpec::paper_default()
+        });
+        let mut placed2 = vec![mk(0), mk(1), mk(2)];
+        placer.enable_ina(
+            &c2,
+            &[],
+            &mut placed2,
+            None,
+            &mut netpack_metrics::PerfCounters::new(),
+        );
+        let all2: Vec<netpack_waterfill::PlacedJob> = (0..3)
+            .map(|i| netpack_waterfill::PlacedJob::new(JobId(i), &c2, &mk(i as usize).1))
+            .collect();
+        let state2 = estimate(&c2, &all2);
+        let enabled2: Vec<f64> = placed2
+            .iter()
+            .filter(|(_, p)| p.ina_enabled())
+            .map(|(j, _)| state2.job_rate_gbps(j.id).unwrap())
+            .collect();
+        assert_eq!(enabled2.len(), 2, "budget admits one full + one marginal job");
+        let total2: f64 = enabled2.iter().sum();
+        let min2 = enabled2.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(total2 > 120.0);
+        assert!(total2 - min2 <= 120.0 + 1e-9);
     }
 
     #[test]

@@ -2,9 +2,10 @@
 //! NetPack's DP never loses to a greedy plan on the same server values.
 
 use netpack_placement::{
-    Comb, FlowBalance, GpuBalance, LeastFragmentation, NetPackPlacer, OptimusLike, Placer,
-    RandomPlacer, ServerStats, TetrisLike, WorkerDp,
+    Comb, FlowBalance, GpuBalance, LeastFragmentation, NetPackConfig, NetPackPlacer, OptimusLike,
+    Placer, RandomPlacer, RunningJob, ScoringMode, ServerStats, TetrisLike, WorkerDp,
 };
+use netpack_model::Placement;
 use netpack_topology::{Cluster, ClusterSpec, JobId, ServerId};
 use netpack_workload::{Job, ModelKind};
 use proptest::prelude::*;
@@ -77,6 +78,57 @@ proptest! {
                 placer.name()
             );
         }
+    }
+
+    /// The fast scorer (incremental water-filling, hot-spot memoization,
+    /// threaded plan evaluation) must produce **bit-identical** batches to
+    /// the sequential reference scorer: the same jobs placed, byte-equal
+    /// `Placement`s (workers, PS servers, INA flags), and the same jobs
+    /// deferred — across random clusters, batches, and running jobs.
+    #[test]
+    fn fast_and_sequential_scoring_agree(
+        (cluster, batch, seed) in arb_cluster().prop_flat_map(|c| {
+            let total = c.total_gpus();
+            (Just(c), arb_batch(total), any::<u64>())
+        })
+    ) {
+        // A deterministic pre-existing job, when it fits, exercises the
+        // running-jobs path of both scorers.
+        let mut scratch = cluster.clone();
+        let mut running: Vec<RunningJob> = Vec::new();
+        if cluster.num_servers() >= 3 && cluster.spec().gpus_per_server >= 1 {
+            let w1 = ServerId(seed as usize % cluster.num_servers());
+            let w2 = ServerId((seed as usize + 1) % cluster.num_servers());
+            let ps = ServerId((seed as usize + 2) % cluster.num_servers());
+            if w1 != w2 && scratch.allocate_gpus(w1, 1).is_ok()
+                && scratch.allocate_gpus(w2, 1).is_ok()
+            {
+                running.push(RunningJob {
+                    id: JobId(1_000),
+                    gradient_gbits: 4.0,
+                    placement: Placement::new(vec![(w1, 1), (w2, 1)], Some(ps)),
+                });
+            }
+        }
+
+        let mut fast = NetPackPlacer::new(NetPackConfig {
+            scoring: ScoringMode::Fast,
+            ..NetPackConfig::default()
+        });
+        let mut sequential = NetPackPlacer::new(NetPackConfig {
+            scoring: ScoringMode::Sequential,
+            ..NetPackConfig::default()
+        });
+        let out_fast = fast.place_batch(&scratch, &running, &batch);
+        let out_seq = sequential.place_batch(&scratch, &running, &batch);
+
+        prop_assert_eq!(out_fast.placed.len(), out_seq.placed.len());
+        for ((jf, pf), (js, ps)) in out_fast.placed.iter().zip(&out_seq.placed) {
+            prop_assert_eq!(jf.id, js.id);
+            prop_assert_eq!(pf, ps, "placements diverged for {:?}", jf.id);
+        }
+        let ids = |jobs: &[Job]| jobs.iter().map(|j| j.id).collect::<Vec<_>>();
+        prop_assert_eq!(ids(&out_fast.deferred), ids(&out_seq.deferred));
     }
 
     /// The DP's best exact-demand plan is at least as valuable as any

@@ -1,0 +1,327 @@
+//! Incremental steady-state estimation for placement-time scoring.
+//!
+//! During one `place_batch` call the placer runs Algorithm 1 once per job
+//! it admits, each time with one more job than before. A from-scratch
+//! [`estimate`](crate::estimate) re-solves every job every time; the
+//! [`IncrementalEstimator`] instead snapshots the converged
+//! [`SteadyState`] and, when a job is pushed, re-solves only the
+//! resource-connected component the new job lands in — the links, racks,
+//! and PAT pools it actually touches. Components it does not touch keep
+//! their cached rates, flow counts, and residuals verbatim.
+//!
+//! Because [`estimate`](crate::estimate) itself solves per component (in
+//! job insertion order), the incremental path replays the exact same
+//! floating-point operations on the affected component and the result is
+//! **bit-identical** to a from-scratch solve over the full job list. The
+//! property test `incremental_push_matches_from_scratch_estimate`
+//! (`tests/properties.rs`) pins this.
+//!
+//! # Invalidation rules
+//!
+//! Pushing a job dirties precisely the union of the components its
+//! resource nodes connect to, where a job's resource nodes are its links
+//! plus — only when it is INA-enabled — the PAT pools of its switches.
+//! Everything else stays cached. There is no `remove`: the placer's scoring
+//! loop only ever adds jobs, and batch boundaries start a fresh estimator.
+//!
+//! # Example
+//!
+//! ```
+//! use netpack_topology::{Cluster, ClusterSpec, ServerId, JobId};
+//! use netpack_model::Placement;
+//! use netpack_waterfill::{estimate, IncrementalEstimator, PlacedJob};
+//!
+//! // Two racks of four servers; jobs in different racks share neither a
+//! // link nor a PAT pool, so they never interact.
+//! let cluster = Cluster::new(ClusterSpec {
+//!     racks: 2,
+//!     servers_per_rack: 4,
+//!     ..ClusterSpec::paper_default()
+//! });
+//! let job = |id: u64, w: usize, ps: usize| PlacedJob::new(
+//!     JobId(id),
+//!     &cluster,
+//!     &Placement::new(vec![(ServerId(w), 2)], Some(ServerId(ps))),
+//! );
+//! let running = [job(0, 0, 1)]; // rack 0
+//! let mut inc = IncrementalEstimator::new(&cluster, &running);
+//! inc.push(&cluster, job(1, 4, 5)); // rack 1
+//! // Bit-identical to re-running Algorithm 1 from scratch:
+//! let scratch = estimate(&cluster, &[job(0, 0, 1), job(1, 4, 5)]);
+//! assert_eq!(inc.state().job_rate_gbps(JobId(1)), scratch.job_rate_gbps(JobId(1)));
+//! // ...but the second job shares nothing with the first, so only one
+//! // job was re-solved:
+//! assert_eq!(inc.stats().jobs_resolved, 2); // 1 at new() + 1 at push()
+//! assert_eq!(inc.stats().jobs_reused, 1);
+//! ```
+
+use crate::waterfill::{
+    empty_state, link_capacity, partition_components, solve_component, Dsu, PlacedJob,
+};
+use crate::SteadyState;
+use netpack_topology::Cluster;
+
+/// Work counters for one estimator instance.
+///
+/// `jobs_resolved + jobs_reused` over the estimator's lifetime equals the
+/// total network-job work a from-scratch estimator would have done, so
+/// `jobs_reused / (jobs_resolved + jobs_reused)` is the fraction of
+/// water-filling work the cache saved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WaterfillStats {
+    /// Incremental `push` calls served.
+    pub pushes: u64,
+    /// Network jobs actually water-filled (at construction and on pushes).
+    pub jobs_resolved: u64,
+    /// Network jobs whose converged rates were kept from the snapshot
+    /// instead of being re-solved.
+    pub jobs_reused: u64,
+    /// Resource-connected components re-solved.
+    pub components_solved: u64,
+}
+
+/// Algorithm 1 with a warm cache: re-solves only the component a pushed
+/// job touches.
+///
+/// See the [module docs](self) for the invalidation rules and the
+/// bit-identical equivalence guarantee. All methods must be called with a
+/// cluster topologically identical to the one passed to [`new`](Self::new).
+#[derive(Debug, Clone)]
+pub struct IncrementalEstimator {
+    /// Every job seen so far, in insertion order (solve order).
+    jobs: Vec<PlacedJob>,
+    /// Per-job resource nodes; empty for local jobs.
+    job_nodes: Vec<Vec<usize>>,
+    /// Union-find over resource nodes (links, then rack PAT pools).
+    dsu: Dsu,
+    /// The converged steady state over all pushed jobs.
+    state: SteadyState,
+    stats: WaterfillStats,
+}
+
+impl IncrementalEstimator {
+    /// Solve the steady state of `jobs` from scratch and snapshot it.
+    pub fn new(cluster: &Cluster, jobs: &[PlacedJob]) -> Self {
+        let mut state = empty_state(cluster, jobs);
+        let mut stats = WaterfillStats::default();
+        for group in partition_components(cluster, jobs) {
+            let members: Vec<&PlacedJob> = group.iter().map(|&i| &jobs[i]).collect();
+            solve_component(cluster, &members, &mut state);
+            stats.components_solved += 1;
+            stats.jobs_resolved += members.len() as u64;
+        }
+        let mut dsu = Dsu::new(cluster.num_links() + cluster.num_racks());
+        let mut job_nodes = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let nodes = job.resource_nodes(cluster);
+            for w in nodes.windows(2) {
+                dsu.union(w[0], w[1]);
+            }
+            job_nodes.push(nodes);
+        }
+        IncrementalEstimator {
+            jobs: jobs.to_vec(),
+            job_nodes,
+            dsu,
+            state,
+            stats,
+        }
+    }
+
+    /// The converged steady state over every job pushed so far.
+    pub fn state(&self) -> &SteadyState {
+        &self.state
+    }
+
+    /// Work counters accumulated since construction.
+    pub fn stats(&self) -> &WaterfillStats {
+        &self.stats
+    }
+
+    /// Number of jobs currently in the estimate.
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Add `job` and re-solve only the component it lands in.
+    ///
+    /// The resulting [`state`](Self::state) is bit-identical to
+    /// `estimate(cluster, all_jobs_so_far)`.
+    pub fn push(&mut self, cluster: &Cluster, job: PlacedJob) {
+        self.stats.pushes += 1;
+        self.state.job_shards.insert(job.id(), job.shards());
+        let nodes = job.resource_nodes(cluster);
+        if nodes.is_empty() {
+            // Local job: infinite rate, touches nothing.
+            self.state.job_rates.insert(job.id(), f64::INFINITY);
+            self.stats.jobs_reused += self.network_job_count();
+            self.jobs.push(job);
+            self.job_nodes.push(nodes);
+            return;
+        }
+        for w in nodes.windows(2) {
+            self.dsu.union(w[0], w[1]);
+        }
+        self.jobs.push(job);
+        self.job_nodes.push(nodes);
+
+        // Member jobs of the (possibly merged) dirty component, in global
+        // insertion order — the same order a from-scratch solve would use.
+        let root = self.dsu.find(self.job_nodes.last().unwrap()[0]);
+        let mut members: Vec<usize> = Vec::new();
+        for (i, nodes) in self.job_nodes.iter().enumerate() {
+            if let Some(&first) = nodes.first() {
+                if self.dsu.find(first) == root {
+                    members.push(i);
+                }
+            }
+        }
+
+        // Reset exactly the dirty component's resources to virgin capacity;
+        // resource nodes of other components are disjoint and untouched.
+        let n_links = cluster.num_links();
+        let mut dirty: Vec<usize> = members
+            .iter()
+            .flat_map(|&i| self.job_nodes[i].iter().copied())
+            .collect();
+        dirty.sort_unstable();
+        dirty.dedup();
+        for node in dirty {
+            if node < n_links {
+                self.state.link_residual[node] = link_capacity(cluster, node);
+                self.state.link_flows[node] = 0;
+            } else {
+                self.state.pat_residual[node - n_links] =
+                    cluster.racks()[node - n_links].pat_gbps();
+            }
+        }
+
+        let refs: Vec<&PlacedJob> = members.iter().map(|&i| &self.jobs[i]).collect();
+        solve_component(cluster, &refs, &mut self.state);
+        self.stats.components_solved += 1;
+        self.stats.jobs_resolved += refs.len() as u64;
+        self.stats.jobs_reused += self.network_job_count() - refs.len() as u64;
+    }
+
+    fn network_job_count(&self) -> u64 {
+        self.job_nodes.iter().filter(|n| !n.is_empty()).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate;
+    use netpack_model::Placement;
+    use netpack_topology::{ClusterSpec, JobId, RackId, ServerId};
+
+    fn cluster(racks: usize, servers_per_rack: usize, pat: f64) -> Cluster {
+        Cluster::new(ClusterSpec {
+            racks,
+            servers_per_rack,
+            gpus_per_server: 4,
+            server_link_gbps: 100.0,
+            pat_gbps: pat,
+            oversubscription: 1.0,
+            rtt_us: 50.0,
+        })
+    }
+
+    fn job(id: u64, c: &Cluster, workers: Vec<(usize, usize)>, ps: usize) -> PlacedJob {
+        let p = Placement::new(
+            workers.into_iter().map(|(s, w)| (ServerId(s), w)).collect(),
+            Some(ServerId(ps)),
+        );
+        PlacedJob::new(JobId(id), c, &p)
+    }
+
+    /// Bitwise equality, including the NaN-free invariant.
+    fn assert_state_eq(a: &SteadyState, b: &SteadyState) {
+        assert_eq!(a.link_residual, b.link_residual);
+        assert_eq!(a.link_flows, b.link_flows);
+        assert_eq!(a.pat_residual, b.pat_residual);
+        assert_eq!(a.job_shards, b.job_shards);
+        assert_eq!(a.job_rates.len(), b.job_rates.len());
+        for (id, rate) in &a.job_rates {
+            let other = b.job_rates.get(id).copied();
+            assert_eq!(Some(*rate), other, "rate mismatch for {id:?}");
+        }
+    }
+
+    #[test]
+    fn push_matches_from_scratch_bitwise() {
+        let c = cluster(2, 4, 60.0);
+        let all = [
+            job(0, &c, vec![(0, 2), (4, 2)], 1),
+            job(1, &c, vec![(2, 1), (5, 1)], 6),
+            job(2, &c, vec![(3, 4)], 7),
+            job(3, &c, vec![(1, 1), (2, 1)], 0),
+        ];
+        let mut inc = IncrementalEstimator::new(&c, &all[..1]);
+        for k in 1..=all.len() {
+            if k > 1 {
+                inc.push(&c, all[k - 1].clone());
+            }
+            assert_state_eq(inc.state(), &estimate(&c, &all[..k]));
+        }
+    }
+
+    #[test]
+    fn untouched_component_is_not_resolved() {
+        // Rack 0 and rack 1 jobs share no resource: pushing into rack 1
+        // must not re-solve (or even re-read) the rack-0 component.
+        let c = cluster(2, 3, 500.0);
+        let a = job(0, &c, vec![(0, 1), (1, 1)], 2);
+        let b = job(1, &c, vec![(3, 1), (4, 1)], 5);
+        let mut inc = IncrementalEstimator::new(&c, std::slice::from_ref(&a));
+        assert_eq!(inc.stats().jobs_resolved, 1);
+
+        let rate_a_before = inc.state().job_rate_gbps(JobId(0));
+        let rack0_pat_before = inc.state().pat_residual_gbps(RackId(0));
+        inc.push(&c, b);
+
+        // Only the new one-job component was water-filled...
+        assert_eq!(inc.stats().pushes, 1);
+        assert_eq!(inc.stats().jobs_resolved, 2);
+        assert_eq!(inc.stats().jobs_reused, 1);
+        assert_eq!(inc.stats().components_solved, 2);
+        // ...and the cached component's numbers survived verbatim.
+        assert_eq!(inc.state().job_rate_gbps(JobId(0)), rate_a_before);
+        assert_eq!(inc.state().pat_residual_gbps(RackId(0)), rack0_pat_before);
+    }
+
+    #[test]
+    fn push_merging_two_components_resolves_both() {
+        // Jobs in racks 0 and 1; a third job spanning both racks merges
+        // the components, so all three must be re-solved.
+        let c = cluster(2, 3, 500.0);
+        let a = job(0, &c, vec![(0, 1), (1, 1)], 2);
+        let b = job(1, &c, vec![(3, 1), (4, 1)], 5);
+        let bridge = job(2, &c, vec![(0, 1), (3, 1)], 1);
+        let mut inc = IncrementalEstimator::new(&c, &[a.clone(), b.clone()]);
+        assert_eq!(inc.stats().jobs_resolved, 2);
+        inc.push(&c, bridge.clone());
+        assert_eq!(inc.stats().jobs_resolved, 5, "merge must re-solve all 3");
+        assert_state_eq(inc.state(), &estimate(&c, &[a, b, bridge]));
+    }
+
+    #[test]
+    fn local_jobs_cost_nothing() {
+        let c = cluster(1, 3, 500.0);
+        let net = job(0, &c, vec![(0, 1), (1, 1)], 2);
+        let mut inc = IncrementalEstimator::new(&c, std::slice::from_ref(&net));
+        let local = PlacedJob::new(JobId(9), &c, &Placement::local(ServerId(0), 4));
+        inc.push(&c, local);
+        assert_eq!(inc.stats().jobs_resolved, 1);
+        assert_eq!(inc.stats().components_solved, 1);
+        assert_eq!(inc.state().job_rate_gbps(JobId(9)), Some(f64::INFINITY));
+        assert_eq!(inc.num_jobs(), 2);
+        assert_state_eq(
+            inc.state(),
+            &estimate(
+                &c,
+                &[net, PlacedJob::new(JobId(9), &c, &Placement::local(ServerId(0), 4))],
+            ),
+        );
+    }
+}

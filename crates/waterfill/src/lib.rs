@@ -43,10 +43,23 @@
 //! assert!((r0 - r1).abs() < 1e-6);
 //! ```
 
+//!
+//! # Placement-time fast path
+//!
+//! [`estimate`] solves each resource-connected component of the job set
+//! independently (jobs interact only through shared links or shared,
+//! INA-active PAT pools). [`IncrementalEstimator`] exploits that: it keeps
+//! the converged state warm and, when a job is added, re-solves only the
+//! component the job touches — bit-identical to a from-scratch solve, but
+//! skipping every untouched component. See the [`incremental`] module docs
+//! for the invalidation rules.
+
+pub mod incremental;
 mod state;
 mod synchronous;
 mod waterfill;
 
+pub use incremental::{IncrementalEstimator, WaterfillStats};
 pub use state::SteadyState;
 pub use synchronous::estimate_synchronous;
 pub use waterfill::{estimate, PlacedJob};

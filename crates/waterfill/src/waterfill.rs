@@ -1,4 +1,13 @@
 //! The INA-specific water-filling loop (Algorithm 1).
+//!
+//! Since the placement-time fast path landed, the estimator is organized
+//! around **resource-connected components**: two jobs interact only if they
+//! share a link, or share a ToR switch's PAT pool while both aggregate.
+//! [`estimate`] partitions the jobs into components with a union-find over
+//! resource nodes and water-fills each component independently — the
+//! max-min allocation of a component depends only on its own jobs, so this
+//! is exact, and it is what lets [`IncrementalEstimator`](crate::IncrementalEstimator)
+//! re-solve only the component a new job lands in.
 
 use crate::{SteadyState, EPSILON_GBPS};
 use netpack_model::{JobHierarchy, Placement};
@@ -57,34 +66,129 @@ impl PlacedJob {
     pub fn shards(&self) -> usize {
         self.shards
     }
+
+    /// Whether this job generates network traffic at all.
+    pub fn is_network(&self) -> bool {
+        !self.components.is_empty()
+    }
+
+    /// The indices of every resource node this job can touch during
+    /// filling: its links (by [`netpack_topology::LinkId::index`]) plus,
+    /// when it participates in INA, the PAT pools of its switches (offset
+    /// by `cluster.num_links()`).
+    ///
+    /// The link *set* of a hierarchy does not depend on the aggregation
+    /// predicate (only the flow counts do), so one predicate-free pass
+    /// suffices. Returns an empty vector for local jobs.
+    pub(crate) fn resource_nodes(&self, cluster: &Cluster) -> Vec<usize> {
+        let n_links = cluster.num_links();
+        let mut nodes: Vec<usize> = Vec::new();
+        for h in &self.components {
+            for (l, _) in h.link_flows(|_| false) {
+                nodes.push(l.index(cluster));
+            }
+        }
+        if self.components.iter().any(JobHierarchy::ina_enabled) {
+            for h in &self.components {
+                for r in h.switches() {
+                    nodes.push(n_links + r.0);
+                }
+            }
+        }
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
 }
 
-/// Run Algorithm 1: estimate the max-min steady state of `jobs` in
-/// `cluster`, jointly filling link bandwidth and switch PAT.
-///
-/// Local jobs converge instantly (infinite rate). The algorithm terminates
-/// after at most `|links| + |racks|` filling rounds because every round
-/// saturates at least one link (freezing its jobs) or exhausts at least one
-/// switch's PAT (fanning out its flows).
-///
-/// # Example
-///
-/// See the crate-level example.
-pub fn estimate(cluster: &Cluster, jobs: &[PlacedJob]) -> SteadyState {
-    let n_links = cluster.num_links();
-    let n_servers = cluster.num_servers();
-    let n_racks = cluster.num_racks();
+/// Minimal union-find over resource-node indices.
+#[derive(Debug, Clone)]
+pub(crate) struct Dsu {
+    parent: Vec<usize>,
+}
 
+impl Dsu {
+    pub(crate) fn new(nodes: usize) -> Self {
+        Dsu {
+            parent: (0..nodes).collect(),
+        }
+    }
+
+    pub(crate) fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    pub(crate) fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Deterministic: the smaller root wins, so component identity
+            // does not depend on union order.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = lo;
+        }
+    }
+}
+
+/// Virgin capacity of the link with flat index `idx` (server access links
+/// first, then one uplink per rack — the same layout as `SteadyState`).
+pub(crate) fn link_capacity(cluster: &Cluster, idx: usize) -> f64 {
+    let n_servers = cluster.num_servers();
+    if idx < n_servers {
+        cluster.spec().server_link_gbps
+    } else {
+        cluster.racks()[idx - n_servers].uplink_gbps()
+    }
+}
+
+/// A virgin steady state: full residuals, no flows, and rates recorded for
+/// every job (`∞` for local jobs, `0.0` placeholder for network jobs that
+/// [`solve_component`] will overwrite).
+pub(crate) fn empty_state(cluster: &Cluster, jobs: &[PlacedJob]) -> SteadyState {
+    let n_servers = cluster.num_servers();
+    let n_links = cluster.num_links();
     let mut bw: Vec<f64> = Vec::with_capacity(n_links);
     bw.resize(n_servers, cluster.spec().server_link_gbps);
-    for r in 0..n_racks {
-        bw.push(cluster.racks()[r].uplink_gbps());
+    for rack in cluster.racks() {
+        bw.push(rack.uplink_gbps());
     }
-    let mut pat: Vec<f64> = cluster.racks().iter().map(|r| r.pat_gbps()).collect();
+    let mut job_rates = HashMap::with_capacity(jobs.len());
+    let mut job_shards = HashMap::with_capacity(jobs.len());
+    for job in jobs {
+        job_shards.insert(job.id, job.shards());
+        if !job.is_network() {
+            job_rates.insert(job.id, f64::INFINITY);
+        }
+    }
+    SteadyState {
+        job_rates,
+        job_shards,
+        link_residual: bw,
+        link_flows: vec![0; n_links],
+        pat_residual: cluster.racks().iter().map(|r| r.pat_gbps()).collect(),
+        num_servers: n_servers,
+    }
+}
 
-    let mut job_rates: HashMap<JobId, f64> = HashMap::with_capacity(jobs.len());
-    let mut job_shards: HashMap<JobId, usize> = HashMap::with_capacity(jobs.len());
-    // Network jobs participate in the filling; local jobs are done already.
+/// Water-fill one resource-connected component in place.
+///
+/// `members` must be exactly the network jobs of one component, in their
+/// global insertion order, and the component's links and PAT pools in
+/// `state` must be at virgin capacity with zero flow counts. Everything
+/// outside the component is left untouched, which is the invariant the
+/// incremental estimator builds on.
+pub(crate) fn solve_component(cluster: &Cluster, members: &[&PlacedJob], state: &mut SteadyState) {
+    if members.is_empty() {
+        return;
+    }
+    let n_links = cluster.num_links();
+    let n_racks = cluster.num_racks();
+    let bw = &mut state.link_residual;
+    let pat = &mut state.pat_residual;
+
     struct Active<'a> {
         id: JobId,
         components: &'a [JobHierarchy],
@@ -97,34 +201,54 @@ pub fn estimate(cluster: &Cluster, jobs: &[PlacedJob]) -> SteadyState {
         rate: f64,
         frozen: bool,
     }
-    let mut active: Vec<Active<'_>> = Vec::new();
-    for job in jobs {
-        job_shards.insert(job.id, job.shards());
-        if job.components().is_empty() {
-            job_rates.insert(job.id, f64::INFINITY);
-        } else {
-            active.push(Active {
-                id: job.id,
-                components: job.components(),
-                flows: Vec::new(),
-                switches: job
-                    .components()
-                    .iter()
-                    .flat_map(|h| h.switches())
-                    .map(|r| r.0)
-                    .collect(),
-                ina_enabled: job.components().iter().any(JobHierarchy::ina_enabled),
-                rate: 0.0,
-                frozen: false,
-            });
+    let mut active: Vec<Active<'_>> = members
+        .iter()
+        .map(|job| Active {
+            id: job.id,
+            components: job.components(),
+            flows: Vec::new(),
+            switches: job
+                .components()
+                .iter()
+                .flat_map(|h| h.switches())
+                .map(|r| r.0)
+                .collect(),
+            ina_enabled: job.components().iter().any(JobHierarchy::ina_enabled),
+            rate: 0.0,
+            frozen: false,
+        })
+        .collect();
+
+    // The component's own resource index lists; every per-round scan is
+    // restricted to these, so a small component in a big cluster stays
+    // cheap even though the state vectors are cluster-sized.
+    let mut links: Vec<usize> = Vec::new();
+    let mut racks: Vec<usize> = Vec::new();
+    for job in members {
+        for h in job.components() {
+            for (l, _) in h.link_flows(|_| false) {
+                links.push(l.index(cluster));
+            }
         }
     }
+    for a in &active {
+        if a.ina_enabled {
+            racks.extend(a.switches.iter().copied());
+        }
+    }
+    links.sort_unstable();
+    links.dedup();
+    racks.sort_unstable();
+    racks.dedup();
 
     let mut unfrozen = active.len();
     let mut flows_stale = true;
-    // Round bound with headroom; the loop always exits earlier.
-    let max_rounds = 2 * (n_links + n_racks) + 8;
-    let mut link_job_count = vec![0u32; n_links];
+    // Round bound with headroom; the loop always exits earlier because
+    // every round saturates a link or exhausts a PAT pool.
+    let max_rounds = 2 * (links.len() + racks.len()) + 8;
+    let mut link_flows_total = vec![0u64; n_links];
+    let mut rack_jobs = vec![0u32; n_racks];
+    let mut pat_was_live = vec![false; n_racks];
 
     for _ in 0..max_rounds {
         if unfrozen == 0 {
@@ -150,8 +274,12 @@ pub fn estimate(cluster: &Cluster, jobs: &[PlacedJob]) -> SteadyState {
         }
 
         // Count flows per link and aggregating jobs per rack.
-        let mut link_flows_total = vec![0u64; n_links];
-        let mut rack_jobs = vec![0u32; n_racks];
+        for &l in &links {
+            link_flows_total[l] = 0;
+        }
+        for &r in &racks {
+            rack_jobs[r] = 0;
+        }
         for a in active.iter().filter(|a| !a.frozen) {
             for &(l, f) in &a.flows {
                 link_flows_total[l] += u64::from(f);
@@ -167,12 +295,12 @@ pub fn estimate(cluster: &Cluster, jobs: &[PlacedJob]) -> SteadyState {
 
         // Minimum per-flow share across loaded links and switches.
         let mut delta = f64::INFINITY;
-        for l in 0..n_links {
+        for &l in &links {
             if link_flows_total[l] > 0 {
                 delta = delta.min((bw[l].max(0.0)) / link_flows_total[l] as f64);
             }
         }
-        for r in 0..n_racks {
+        for &r in &racks {
             if rack_jobs[r] > 0 {
                 delta = delta.min((pat[r].max(0.0)) / f64::from(rack_jobs[r]));
             }
@@ -188,7 +316,9 @@ pub fn estimate(cluster: &Cluster, jobs: &[PlacedJob]) -> SteadyState {
         }
 
         // Augment: raise every active job by delta, drain links and PAT.
-        let pat_was_live: Vec<bool> = pat.iter().map(|&p| p > EPSILON_GBPS).collect();
+        for &r in &racks {
+            pat_was_live[r] = pat[r] > EPSILON_GBPS;
+        }
         for a in active.iter_mut().filter(|a| !a.frozen) {
             a.rate += delta;
             for &(l, f) in &a.flows {
@@ -203,14 +333,14 @@ pub fn estimate(cluster: &Cluster, jobs: &[PlacedJob]) -> SteadyState {
             }
         }
         // Pin near-zero residuals and detect PAT flips.
-        for r in 0..n_racks {
+        for &r in &racks {
             if pat_was_live[r] && pat[r] <= EPSILON_GBPS {
                 pat[r] = 0.0;
                 flows_stale = true;
             }
         }
         let mut any_link_saturated = false;
-        for l in 0..n_links {
+        for &l in &links {
             if link_flows_total[l] > 0 && bw[l] <= EPSILON_GBPS {
                 bw[l] = bw[l].max(0.0);
                 any_link_saturated = true;
@@ -231,25 +361,76 @@ pub fn estimate(cluster: &Cluster, jobs: &[PlacedJob]) -> SteadyState {
     }
     debug_assert_eq!(unfrozen, 0, "water-filling failed to converge");
 
-    // Converged flow counts including frozen jobs, under the final PAT view.
+    // Converged flow counts including frozen jobs, under the final PAT view
+    // (a job's own switches are all inside its component, so the component
+    // view and the global view agree), and residual clamping.
     let agg = |r: RackId| pat[r.0] > EPSILON_GBPS;
     for a in &active {
-        job_rates.insert(a.id, a.rate);
+        state.job_rates.insert(a.id, a.rate);
         for h in a.components {
             for (l, f) in h.link_flows(agg) {
-                link_job_count[l.index(cluster)] += f;
+                state.link_flows[l.index(cluster)] += f;
             }
         }
     }
-
-    SteadyState {
-        job_rates,
-        job_shards,
-        link_residual: bw.into_iter().map(|b| b.max(0.0)).collect(),
-        link_flows: link_job_count,
-        pat_residual: pat,
-        num_servers: n_servers,
+    for &l in &links {
+        bw[l] = bw[l].max(0.0);
     }
+}
+
+/// Group the network jobs of `jobs` into resource-connected components.
+///
+/// Returns one `Vec` of job indices per component, each in insertion order,
+/// with the components ordered by their first member. Local jobs appear in
+/// no component.
+pub(crate) fn partition_components(cluster: &Cluster, jobs: &[PlacedJob]) -> Vec<Vec<usize>> {
+    let n_nodes = cluster.num_links() + cluster.num_racks();
+    let mut dsu = Dsu::new(n_nodes);
+    let mut job_first_node: Vec<Option<usize>> = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let nodes = job.resource_nodes(cluster);
+        for w in nodes.windows(2) {
+            dsu.union(w[0], w[1]);
+        }
+        job_first_node.push(nodes.first().copied());
+    }
+    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+    let mut root_of: HashMap<usize, usize> = HashMap::new();
+    for (i, first) in job_first_node.iter().enumerate() {
+        let Some(first) = *first else { continue };
+        let root = dsu.find(first);
+        match root_of.get(&root) {
+            Some(&g) => groups[g].1.push(i),
+            None => {
+                root_of.insert(root, groups.len());
+                groups.push((root, vec![i]));
+            }
+        }
+    }
+    groups.into_iter().map(|(_, g)| g).collect()
+}
+
+/// Run Algorithm 1: estimate the max-min steady state of `jobs` in
+/// `cluster`, jointly filling link bandwidth and switch PAT.
+///
+/// Local jobs converge instantly (infinite rate). Network jobs are
+/// partitioned into resource-connected components (jobs interact only
+/// through shared links or shared, INA-active PAT pools) and each component
+/// is water-filled independently; within a component the algorithm
+/// terminates after at most `|links| + |racks|` filling rounds because
+/// every round saturates at least one link (freezing its jobs) or exhausts
+/// at least one switch's PAT (fanning out its flows).
+///
+/// # Example
+///
+/// See the crate-level example.
+pub fn estimate(cluster: &Cluster, jobs: &[PlacedJob]) -> SteadyState {
+    let mut state = empty_state(cluster, jobs);
+    for group in partition_components(cluster, jobs) {
+        let members: Vec<&PlacedJob> = group.iter().map(|&i| &jobs[i]).collect();
+        solve_component(cluster, &members, &mut state);
+    }
+    state
 }
 
 #[cfg(test)]
@@ -466,6 +647,48 @@ mod tests {
             });
             assert!(saturated, "job {} not bottlenecked", pj.id());
         }
+    }
+
+    #[test]
+    fn disjoint_jobs_form_separate_components() {
+        // Two jobs in different racks, never sharing a link; PAT on, but
+        // each aggregates only at its own rack's switch.
+        let c = cluster(2, 3, 500.0);
+        let jobs = [
+            job(0, &c, vec![(0, 1), (1, 1)], 2),
+            job(1, &c, vec![(3, 1), (4, 1)], 5),
+        ];
+        let comps = partition_components(&c, &jobs);
+        assert_eq!(comps, vec![vec![0], vec![1]]);
+        // A shared PS server merges them.
+        let jobs = [
+            job(0, &c, vec![(0, 1), (1, 1)], 2),
+            job(1, &c, vec![(3, 1), (4, 1)], 2),
+        ];
+        let comps = partition_components(&c, &jobs);
+        assert_eq!(comps, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn pat_pool_couples_jobs_without_shared_links() {
+        // Same rack, disjoint servers: jobs interact only through the
+        // rack's PAT pool, and only while both are INA-enabled.
+        let c = cluster(1, 6, 40.0);
+        let ina = [
+            job(0, &c, vec![(0, 1), (1, 1)], 2),
+            job(1, &c, vec![(3, 1), (4, 1)], 5),
+        ];
+        assert_eq!(partition_components(&c, &ina), vec![vec![0, 1]]);
+
+        let mut p = Placement::new(vec![(ServerId(0), 1), (ServerId(1), 1)], Some(ServerId(2)));
+        p.set_ina_enabled(false);
+        let mut q = Placement::new(vec![(ServerId(3), 1), (ServerId(4), 1)], Some(ServerId(5)));
+        q.set_ina_enabled(false);
+        let off = [
+            PlacedJob::new(JobId(0), &c, &p),
+            PlacedJob::new(JobId(1), &c, &q),
+        ];
+        assert_eq!(partition_components(&c, &off), vec![vec![0], vec![1]]);
     }
 }
 

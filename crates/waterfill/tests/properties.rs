@@ -2,7 +2,7 @@
 
 use netpack_model::Placement;
 use netpack_topology::{Cluster, ClusterSpec, JobId, LinkId, RackId, ServerId};
-use netpack_waterfill::{estimate, PlacedJob};
+use netpack_waterfill::{estimate, IncrementalEstimator, PlacedJob};
 use proptest::prelude::*;
 
 /// Generate a random small cluster spec.
@@ -122,6 +122,57 @@ proptest! {
                 prop_assert!(rs <= ra + 1e-6, "job {} shared {rs} > solo {ra}", job.id());
             }
         }
+    }
+
+    /// The incremental estimator is *bit-identical* to a from-scratch
+    /// solve after every push, at every prefix of the job list — the
+    /// correctness anchor of the placement-time fast path. Exact `==` on
+    /// floats is deliberate: the incremental path must replay the very
+    /// same component solves, not merely approximate them.
+    #[test]
+    fn incremental_push_matches_from_scratch_estimate(
+        (cluster, jobs) in arb_cluster().prop_flat_map(|c| {
+            let jobs = arb_jobs(&c);
+            (Just(c), jobs)
+        })
+    ) {
+        let mut inc = IncrementalEstimator::new(&cluster, &[]);
+        for k in 1..=jobs.len() {
+            inc.push(&cluster, jobs[k - 1].clone());
+            let scratch = estimate(&cluster, &jobs[..k]);
+            for job in &jobs[..k] {
+                prop_assert_eq!(
+                    inc.state().job_rate_gbps(job.id()),
+                    scratch.job_rate_gbps(job.id()),
+                    "rate diverged for {} after {} pushes", job.id(), k
+                );
+                prop_assert_eq!(
+                    inc.state().job_shards(job.id()),
+                    scratch.job_shards(job.id())
+                );
+            }
+            for l in 0..cluster.num_links() {
+                let link = LinkId::from_index(l, &cluster);
+                prop_assert_eq!(
+                    inc.state().link_residual_gbps(link, &cluster),
+                    scratch.link_residual_gbps(link, &cluster)
+                );
+                prop_assert_eq!(
+                    inc.state().link_flows(link, &cluster),
+                    scratch.link_flows(link, &cluster)
+                );
+            }
+            for r in 0..cluster.num_racks() {
+                prop_assert_eq!(
+                    inc.state().pat_residual_gbps(RackId(r)),
+                    scratch.pat_residual_gbps(RackId(r))
+                );
+            }
+        }
+        // The cache never does more water-filling work than from-scratch
+        // solving at every prefix would (and usually does much less).
+        let scratch_work: u64 = (1..=jobs.len() as u64).sum();
+        prop_assert!(inc.stats().jobs_resolved <= scratch_work);
     }
 
     /// Scale invariance: doubling all capacities (links and PAT) doubles

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the tree is green iff this script exits 0.
+#
+#   ./scripts/check.sh
+#
+# Runs the release build, the full workspace test suite, the doctests,
+# and clippy with warnings denied. Keep this list in sync with README.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo test --workspace --doc -q"
+cargo test --workspace --doc -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "check.sh: all green"
