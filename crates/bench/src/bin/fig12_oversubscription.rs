@@ -3,9 +3,11 @@
 //! The rack uplinks shrink from 1:1 to 20:1 oversubscription. NetPack's
 //! cross-rack penalty and selective INA enabling should widen its lead as
 //! the uplinks get scarcer (the paper reports the average reduction
-//! growing from 52% at 1:1 to 89% at 20:1).
+//! growing from 52% at 1:1 to 89% at 20:1). Each (ratio, placer,
+//! repetition) cell is an independent simulation, fanned out across
+//! threads via [`parallel_sweep`].
 
-use netpack_bench::{loaded_trace, placer_by_name, quick, repeats, roster_names};
+use netpack_bench::{loaded_trace, parallel_sweep, placer_by_name, quick, repeats, roster_names};
 use netpack_flowsim::{SimConfig, Simulation};
 use netpack_metrics::{Summary, TextTable};
 use netpack_topology::{Cluster, ClusterSpec};
@@ -24,26 +26,38 @@ fn main() {
             .chain(roster_names().iter().map(|s| format!("{s} (norm)")))
             .collect::<Vec<_>>(),
     );
-    for &ratio in &ratios {
+    let cells: Vec<(f64, &'static str, usize)> = ratios
+        .iter()
+        .flat_map(|&ratio| {
+            roster_names()
+                .into_iter()
+                .flat_map(move |name| (0..repeats()).map(move |rep| (ratio, name, rep)))
+        })
+        .collect();
+    let results = parallel_sweep(&cells, |&(ratio, name, rep)| {
         let spec = ClusterSpec {
             racks: 8,
             servers_per_rack: 8,
             oversubscription: ratio,
             ..ClusterSpec::paper_default()
         };
+        let trace = loaded_trace(TraceKind::Real, &spec, jobs, 5000 + rep as u64);
+        Simulation::new(
+            Cluster::new(spec.clone()),
+            placer_by_name(name),
+            SimConfig::default(),
+        )
+        .run(&trace)
+        .average_jct_s()
+        .expect("jobs finished")
+    });
+    let mut it = results.iter();
+    for &ratio in &ratios {
         let mut means = Vec::new();
-        for name in roster_names() {
-            let mut jcts = Vec::new();
-            for rep in 0..repeats() {
-                let trace = loaded_trace(TraceKind::Real, &spec, jobs, 5000 + rep as u64);
-                let result = Simulation::new(
-                    Cluster::new(spec.clone()),
-                    placer_by_name(name),
-                    SimConfig::default(),
-                )
-                .run(&trace);
-                jcts.push(result.average_jct_s().expect("jobs finished"));
-            }
+        for _name in roster_names() {
+            let jcts: Vec<f64> = (0..repeats())
+                .map(|_| *it.next().expect("one result per cell"))
+                .collect();
             means.push(Summary::of(&jcts).mean);
         }
         let netpack = means[0];

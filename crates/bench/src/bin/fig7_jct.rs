@@ -3,9 +3,12 @@
 //!
 //! JCT is normalized to NetPack (= 1.00) within each group, as the paper
 //! plots it; the raw seconds and the std-dev across repetitions are also
-//! printed.
+//! printed. The placer × trace matrix fans out across threads via
+//! [`parallel_sweep`], one replay series per cell.
 
-use netpack_bench::{repeats, replay, roster_names, simulator_spec, standard_jobs, testbed_spec};
+use netpack_bench::{
+    parallel_sweep, repeats, replay, roster_names, simulator_spec, standard_jobs, testbed_spec,
+};
 use netpack_metrics::TextTable;
 use netpack_workload::TraceKind;
 
@@ -19,13 +22,19 @@ fn main() {
         let jobs = standard_jobs(&spec);
         println!("{label}: {} jobs per trace", jobs);
         let mut table = TextTable::new(vec!["placer", "Real", "Poisson", "Normal", "Real JCT (s)", "±std"]);
+        let cells: Vec<(&'static str, TraceKind)> = roster_names()
+            .into_iter()
+            .flat_map(|name| TraceKind::ALL.into_iter().map(move |kind| (name, kind)))
+            .collect();
+        let points = parallel_sweep(&cells, |&(name, kind)| replay(name, &spec, kind, jobs));
         let mut per_kind: Vec<Vec<f64>> = Vec::new();
         let mut stds: Vec<f64> = Vec::new();
-        for name in roster_names() {
+        let mut it = cells.iter().zip(&points);
+        for _name in roster_names() {
             let mut row = Vec::new();
             let mut real_std = 0.0;
-            for kind in TraceKind::ALL {
-                let point = replay(name, &spec, kind, jobs);
+            for _ in TraceKind::ALL {
+                let (&(_, kind), point) = it.next().expect("one point per cell");
                 row.push(point.jct.mean);
                 if kind == TraceKind::Real {
                     real_std = point.jct.std;

@@ -2,9 +2,12 @@
 //!
 //! DE isolates the placement effect from model size:
 //! `DE = (1/|Jobs|) Σ JCT_1gpu / (JCT × gpus)`; a linearly scaling system
-//! with zero network overhead scores 1.0.
+//! with zero network overhead scores 1.0. The placer × trace matrix fans
+//! out across threads via [`parallel_sweep`], one replay series per cell.
 
-use netpack_bench::{repeats, replay, roster_names, simulator_spec, standard_jobs, testbed_spec};
+use netpack_bench::{
+    parallel_sweep, repeats, replay, roster_names, simulator_spec, standard_jobs, testbed_spec,
+};
 use netpack_metrics::TextTable;
 use netpack_workload::TraceKind;
 
@@ -18,11 +21,17 @@ fn main() {
         let jobs = standard_jobs(&spec);
         println!("{label}: {} jobs per trace", jobs);
         let mut table = TextTable::new(vec!["placer", "Real", "Poisson", "Normal", "±std (Real)"]);
+        let cells: Vec<(&'static str, TraceKind)> = roster_names()
+            .into_iter()
+            .flat_map(|name| TraceKind::ALL.into_iter().map(move |kind| (name, kind)))
+            .collect();
+        let points = parallel_sweep(&cells, |&(name, kind)| replay(name, &spec, kind, jobs));
+        let mut it = cells.iter().zip(&points);
         for name in roster_names() {
             let mut row = Vec::new();
             let mut real_std = 0.0;
-            for kind in TraceKind::ALL {
-                let point = replay(name, &spec, kind, jobs);
+            for _ in TraceKind::ALL {
+                let (&(_, kind), point) = it.next().expect("one point per cell");
                 row.push(point.de.mean);
                 if kind == TraceKind::Real {
                     real_std = point.de.std;

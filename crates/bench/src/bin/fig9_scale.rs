@@ -2,21 +2,35 @@
 //!
 //! The paper replays a 4K-job real workload on clusters of 100 to 10K
 //! servers (16 racks) and reports an average 31% JCT reduction for
-//! NetPack. We sweep the same shape; `NETPACK_QUICK=1` trims the sweep.
+//! NetPack. We sweep the same shape; `NETPACK_QUICK=1` trims the sweep
+//! and `NETPACK_SMOKE=1` shrinks it to a single tiny cell (the
+//! `scripts/check.sh` equivalence gate). Every (size, placer, repetition)
+//! cell is an independent simulation, so the sweep fans out across
+//! threads via [`parallel_sweep`]; set `NETPACK_PERF=1` to print the
+//! merged event-loop counters afterwards.
 
-use netpack_bench::{loaded_trace, placer_by_name, quick, repeats, roster_names};
+use netpack_bench::{loaded_trace, parallel_sweep, placer_by_name, quick, repeats, roster_names};
 use netpack_flowsim::{SimConfig, Simulation};
-use netpack_metrics::{Summary, TextTable};
+use netpack_metrics::{PerfCounters, Summary, TextTable};
 use netpack_topology::{Cluster, ClusterSpec};
 use netpack_workload::TraceKind;
 
 fn main() {
-    let sizes: Vec<usize> = if quick() {
+    let smoke = std::env::var("NETPACK_SMOKE").is_ok_and(|v| v != "0");
+    let sizes: Vec<usize> = if smoke {
+        vec![64]
+    } else if quick() {
         vec![100, 400]
     } else {
         vec![100, 256, 1024, 4096, 10_000]
     };
-    let jobs = if quick() { 100 } else { 1000 };
+    let jobs = if smoke {
+        40
+    } else if quick() {
+        100
+    } else {
+        1000
+    };
     println!(
         "Fig. 9 — JCT vs cluster scale (Real trace, {} jobs, {} repetitions)\n",
         jobs,
@@ -25,6 +39,7 @@ fn main() {
     let mut table = TextTable::new(
         std::iter::once("servers".to_string())
             .chain(roster_names().iter().map(|s| format!("{s} (norm)")))
+            .chain(std::iter::once("NetPack JCT (s)".to_string()))
             .collect::<Vec<_>>(),
     );
     // The paper replays the SAME workload on every cluster size, so the
@@ -35,33 +50,57 @@ fn main() {
         servers_per_rack: sizes[0] / 16.min(sizes[0]),
         ..ClusterSpec::paper_default()
     };
-    for &servers in &sizes {
+    // One cell per (cluster size, placer, repetition), fanned out in
+    // parallel; results come back in cell order, so the merge below reads
+    // them off sequentially.
+    let cells: Vec<(usize, &'static str, usize)> = sizes
+        .iter()
+        .flat_map(|&servers| {
+            roster_names()
+                .into_iter()
+                .flat_map(move |name| (0..repeats()).map(move |rep| (servers, name, rep)))
+        })
+        .collect();
+    let results = parallel_sweep(&cells, |&(servers, name, rep)| {
         let racks = 16.min(servers);
         let spec = ClusterSpec {
             racks,
             servers_per_rack: servers / racks,
             ..ClusterSpec::paper_default()
         };
+        let trace = loaded_trace(TraceKind::Real, &base_spec, jobs, 3000 + rep as u64);
+        let result = Simulation::new(
+            Cluster::new(spec.clone()),
+            placer_by_name(name),
+            SimConfig::default(),
+        )
+        .run(&trace);
+        let jct = result.average_jct_s().expect("jobs finished");
+        (jct, result.perf)
+    });
+    let mut perf = PerfCounters::new();
+    let mut it = results.iter();
+    for &servers in &sizes {
         let mut means = Vec::new();
-        for name in roster_names() {
+        for _name in roster_names() {
             let mut jcts = Vec::new();
-            for rep in 0..repeats() {
-                let trace = loaded_trace(TraceKind::Real, &base_spec, jobs, 3000 + rep as u64);
-                let result = Simulation::new(
-                    Cluster::new(spec.clone()),
-                    placer_by_name(name),
-                    SimConfig::default(),
-                )
-                .run(&trace);
-                jcts.push(result.average_jct_s().expect("jobs finished"));
+            for _rep in 0..repeats() {
+                let (jct, cell_perf) = it.next().expect("one result per cell");
+                jcts.push(*jct);
+                perf.merge(cell_perf);
             }
             means.push(Summary::of(&jcts).mean);
         }
         let netpack = means[0];
         let mut row = vec![servers.to_string()];
         row.extend(means.iter().map(|m| format!("{:.3}", m / netpack)));
+        row.push(format!("{netpack:.1}"));
         table.row(row);
     }
     println!("{table}");
     println!("paper: NetPack provides an average 31% JCT reduction across scales.");
+    if std::env::var("NETPACK_PERF").is_ok_and(|v| v != "0") {
+        println!("\nEvent-loop perf counters (merged across all cells):");
+        println!("{}", perf.to_table());
+    }
 }

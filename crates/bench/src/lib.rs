@@ -151,6 +151,50 @@ pub fn placer_by_name(name: &str) -> Box<dyn Placer> {
     }
 }
 
+/// Run one closure per sweep cell across `std::thread::scope` workers and
+/// return the results in cell order.
+///
+/// The deterministic ordered merge (chunk `i`'s results land before chunk
+/// `i+1`'s, same as a sequential loop) is what lets the figure binaries
+/// parallelize without changing a single printed byte — the same pattern
+/// as the placement scorer's parallel plan scoring. Each cell must be
+/// independent; all figure sweeps are (one `Simulation` per cell).
+///
+/// Honors `NETPACK_THREADS` (0 or unset → all available cores) so perf
+/// comparisons can pin a worker count.
+pub fn parallel_sweep<T, R, F>(cells: &[T], run: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = std::env::var("NETPACK_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .min(cells.len().max(1));
+    if threads <= 1 || cells.len() <= 1 {
+        return cells.iter().map(&run).collect();
+    }
+    let chunk = cells.len().div_ceil(threads);
+    let run = &run;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = cells
+            .chunks(chunk)
+            .map(|cell_chunk| scope.spawn(move || cell_chunk.iter().map(run).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    })
+}
+
 /// Outcome of repeated trace replays for one placer.
 #[derive(Debug, Clone, Copy)]
 pub struct ReplayPoint {
@@ -208,6 +252,43 @@ mod tests {
     #[should_panic(expected = "unknown placer")]
     fn unknown_placer_panics() {
         let _ = placer_by_name("nope");
+    }
+
+    #[test]
+    fn parallel_sweep_preserves_cell_order() {
+        let cells: Vec<usize> = (0..37).collect();
+        let got = parallel_sweep(&cells, |&c| c * 2);
+        let want: Vec<usize> = cells.iter().map(|&c| c * 2).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn parallel_sweep_handles_degenerate_sizes() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_sweep(&empty, |&c| c).is_empty());
+        assert_eq!(parallel_sweep(&[7u32], |&c| c + 1), vec![8]);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential_simulation() {
+        // The real use: one simulation per cell must give the same
+        // results as running the cells in a plain loop.
+        let spec = testbed_spec();
+        let cells: Vec<u64> = vec![1, 2, 3];
+        let run = |&seed: &u64| {
+            let trace = loaded_trace(TraceKind::Real, &spec, 12, seed);
+            Simulation::new(
+                Cluster::new(spec.clone()),
+                placer_by_name("GB"),
+                SimConfig::default(),
+            )
+            .run(&trace)
+            .average_jct_s()
+            .expect("jobs finished")
+        };
+        let par = parallel_sweep(&cells, run);
+        let seq: Vec<f64> = cells.iter().map(run).collect();
+        assert_eq!(par, seq);
     }
 
     #[test]

@@ -3,8 +3,9 @@
 use netpack_model::Placement;
 use netpack_placement::{Placer, RunningJob};
 use netpack_topology::{Cluster, JobId, TopologyError};
-use netpack_waterfill::{estimate, PlacedJob, SteadyState};
+use netpack_waterfill::{estimate, IncrementalEstimator, PlacedJob, SteadyState, WaterfillStats};
 use netpack_workload::Job;
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
@@ -62,6 +63,15 @@ impl From<TopologyError> for ManagerError {
     }
 }
 
+/// A deferred mutation to the warm steady-state tracker. Ops are queued
+/// where the running set changes and drained inside
+/// [`JobManager::steady_state_incremental`], so all water-filling work is
+/// attributable to that one call (clean phase timing for the simulator).
+enum TrackerOp {
+    Add(PlacedJob),
+    Remove(JobId),
+}
+
 /// The cluster-wide DT job manager (Fig. 4).
 pub struct JobManager {
     cluster: Cluster,
@@ -69,6 +79,14 @@ pub struct JobManager {
     config: ManagerConfig,
     pending: Vec<Job>,
     running: Vec<(Job, Placement)>,
+    /// Id → position in `running` for O(1) [`finish`](Self::finish) lookup.
+    index: HashMap<JobId, usize>,
+    /// Warm incremental estimator, lazily created by the first
+    /// [`steady_state_incremental`](Self::steady_state_incremental) call.
+    /// Its insertion order always mirrors `running` — the bit-identity
+    /// contract with from-scratch [`estimate`] depends on it.
+    tracker: Option<IncrementalEstimator>,
+    tracker_ops: Vec<TrackerOp>,
 }
 
 impl fmt::Debug for JobManager {
@@ -91,6 +109,9 @@ impl JobManager {
             config,
             pending: Vec::new(),
             running: Vec::new(),
+            index: HashMap::new(),
+            tracker: None,
+            tracker_ops: Vec::new(),
         }
     }
 
@@ -160,7 +181,12 @@ impl JobManager {
                     .allocate_gpus(s, w)
                     .expect("validated placement fits the ledger");
             }
+            self.index.insert(job.id, self.running.len());
             self.running.push((job.clone(), placement.clone()));
+            if self.tracker.is_some() {
+                self.tracker_ops
+                    .push(TrackerOp::Add(PlacedJob::new(job.id, &self.cluster, placement)));
+            }
         }
         for mut job in outcome.deferred {
             job.value += self.config.aging_value_bump;
@@ -169,25 +195,37 @@ impl JobManager {
         outcome.placed
     }
 
-    /// Mark a running job finished, releasing its GPUs.
+    /// Mark a running job finished, releasing its GPUs, and return the
+    /// removed `(Job, Placement)` so callers need not keep their own copy.
+    ///
+    /// Lookup is O(1) via the id → index map; the removal itself is an
+    /// order-preserving `Vec::remove` (not `swap_remove`) because the
+    /// running order doubles as the warm estimator's insertion order, and
+    /// bit-identity with from-scratch [`estimate`] depends on replaying
+    /// the same float-op sequence.
     ///
     /// # Errors
     ///
     /// Returns [`ManagerError::UnknownJob`] if the job is not running.
-    pub fn finish(&mut self, id: JobId) -> Result<(), ManagerError> {
+    pub fn finish(&mut self, id: JobId) -> Result<(Job, Placement), ManagerError> {
         let idx = self
-            .running
-            .iter()
-            .position(|(j, _)| j.id == id)
+            .index
+            .remove(&id)
             .ok_or(ManagerError::UnknownJob(id))?;
-        let (_, placement) = self.running.remove(idx);
+        let (job, placement) = self.running.remove(idx);
+        for (i, (j, _)) in self.running.iter().enumerate().skip(idx) {
+            self.index.insert(j.id, i);
+        }
+        if self.tracker.is_some() {
+            self.tracker_ops.push(TrackerOp::Remove(id));
+        }
         for &(s, w) in placement.workers() {
             self.cluster.release_gpus(s, w)?;
         }
-        Ok(())
+        Ok((job, placement))
     }
 
-    /// Estimate the current steady state of all running jobs.
+    /// Estimate the current steady state of all running jobs from scratch.
     pub fn steady_state(&self) -> SteadyState {
         let placed: Vec<PlacedJob> = self
             .running
@@ -195,6 +233,58 @@ impl JobManager {
             .map(|(j, p)| PlacedJob::new(j.id, &self.cluster, p))
             .collect();
         estimate(&self.cluster, &placed)
+    }
+
+    /// Steady state of all running jobs from the warm incremental
+    /// estimator — bit-identical to [`steady_state`](Self::steady_state)
+    /// but re-solving only the resource-connected components touched since
+    /// the last call.
+    ///
+    /// The first call builds the tracker from the current running set;
+    /// later calls drain the add/remove ops queued by
+    /// [`run_epoch`](Self::run_epoch) and [`finish`](Self::finish), so the
+    /// water-filling cost lands entirely inside this method (convenient
+    /// for phase timing).
+    pub fn steady_state_incremental(&mut self) -> &SteadyState {
+        match self.tracker {
+            None => {
+                let placed: Vec<PlacedJob> = self
+                    .running
+                    .iter()
+                    .map(|(j, p)| PlacedJob::new(j.id, &self.cluster, p))
+                    .collect();
+                self.tracker = Some(IncrementalEstimator::new(&self.cluster, &placed));
+                self.tracker_ops.clear();
+            }
+            Some(ref mut tracker) => {
+                for op in self.tracker_ops.drain(..) {
+                    match op {
+                        TrackerOp::Add(job) => tracker.push(&self.cluster, job),
+                        TrackerOp::Remove(id) => {
+                            tracker.remove(&self.cluster, id);
+                        }
+                    }
+                }
+            }
+        }
+        self.tracker.as_ref().expect("tracker just ensured").state()
+    }
+
+    /// The warm estimator's current state, if
+    /// [`steady_state_incremental`](Self::steady_state_incremental) has
+    /// run and no ops are pending. Borrows `self` immutably so callers can
+    /// read the state alongside [`cluster`](Self::cluster).
+    pub fn incremental_state(&self) -> Option<&SteadyState> {
+        if self.tracker_ops.is_empty() {
+            self.tracker.as_ref().map(|t| t.state())
+        } else {
+            None
+        }
+    }
+
+    /// Work counters from the warm estimator, if it exists.
+    pub fn waterfill_stats(&self) -> Option<WaterfillStats> {
+        self.tracker.as_ref().map(|t| *t.stats())
     }
 }
 
@@ -274,6 +364,60 @@ mod tests {
         let state = m.steady_state();
         let rate = state.job_rate_gbps(JobId(0)).unwrap();
         assert!(rate.is_finite() && rate > 0.0);
+    }
+
+    #[test]
+    fn finish_returns_the_removed_job_and_placement() {
+        let mut m = manager(Box::new(GpuBalance));
+        m.submit(job(3, 6));
+        let placed = m.run_epoch();
+        let (fj, fp) = m.finish(JobId(3)).unwrap();
+        assert_eq!(fj.id, JobId(3));
+        assert_eq!((fj, fp), placed.into_iter().next().unwrap());
+    }
+
+    #[test]
+    fn finish_out_of_order_keeps_lookup_consistent() {
+        let mut m = manager(Box::new(GpuBalance));
+        for id in 0..4 {
+            m.submit(job(id, 2));
+        }
+        m.run_epoch();
+        // Remove from the middle, then the ends — every lookup must
+        // still resolve after the index fix-ups.
+        for id in [1u64, 3, 0, 2] {
+            let (fj, _) = m.finish(JobId(id)).unwrap();
+            assert_eq!(fj.id, JobId(id));
+        }
+        assert_eq!(m.cluster().free_gpus(), 16);
+        assert!(m.running().is_empty());
+    }
+
+    #[test]
+    fn incremental_steady_state_matches_scratch_across_churn() {
+        let mut m = manager(Box::new(NetPackPlacer::default()));
+        m.submit(job(0, 6));
+        m.submit(job(1, 4));
+        m.run_epoch();
+        // First call builds the tracker; compare bitwise against scratch.
+        let scratch = m.steady_state();
+        let inc = m.steady_state_incremental().clone();
+        assert_eq!(inc.job_rate_gbps(JobId(0)), scratch.job_rate_gbps(JobId(0)));
+        assert_eq!(inc.job_rate_gbps(JobId(1)), scratch.job_rate_gbps(JobId(1)));
+        // Churn: finish one, admit another, and re-check.
+        m.finish(JobId(0)).unwrap();
+        m.submit(job(2, 6));
+        m.run_epoch();
+        assert!(m.incremental_state().is_none(), "ops pending → no stale view");
+        let scratch = m.steady_state();
+        let inc = m.steady_state_incremental().clone();
+        for id in [1u64, 2] {
+            assert_eq!(inc.job_rate_gbps(JobId(id)), scratch.job_rate_gbps(JobId(id)));
+        }
+        assert!(m.incremental_state().is_some());
+        let stats = m.waterfill_stats().unwrap();
+        assert_eq!(stats.removes, 1);
+        assert!(stats.pushes >= 1);
     }
 
     #[test]

@@ -10,6 +10,13 @@
 //! completions — trigger a rate recomputation, exactly as real statistical
 //! INA re-converges when the competing flow set changes.
 //!
+//! Recomputation is incremental by default: a warm water-filling
+//! estimator re-solves only the resource-connected components an event
+//! touched, and completions come off a lazy-invalidation min-heap instead
+//! of a per-event scan (see [`sim`](self) internals and `SteadyMode`).
+//! Set `NETPACK_SIM=scratch` to force the from-scratch reference path —
+//! both produce bit-identical results.
+//!
 //! The fluid model assumes every job communicates continuously. Real
 //! iterative jobs interleave compute and communication and can take turns
 //! in the switch memory (the paper observes this in Fig. 14b); the fluid
@@ -42,4 +49,4 @@ mod outcome;
 mod sim;
 
 pub use outcome::{JobOutcome, SimResult, TelemetrySample};
-pub use sim::{InaMode, SimConfig, Simulation};
+pub use sim::{InaMode, SimConfig, Simulation, SteadyMode};

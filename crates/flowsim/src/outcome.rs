@@ -1,6 +1,6 @@
 //! Simulation results and per-job accounting.
 
-use netpack_metrics::JobRecord;
+use netpack_metrics::{JobRecord, PerfCounters};
 use netpack_topology::JobId;
 
 /// One job's lifecycle through the simulation.
@@ -54,11 +54,13 @@ pub struct TelemetrySample {
 }
 
 /// The full result of one simulation run.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SimResult {
     /// Per-job outcomes for all finished jobs, in completion order.
     pub outcomes: Vec<JobOutcome>,
-    /// Jobs that never finished before the simulation cap.
+    /// Jobs that never finished: oversized for the cluster, still running
+    /// or queued at the time cap, or stalled with no finite event left.
+    /// Sorted by id; each id appears at most once.
     pub unfinished: Vec<JobId>,
     /// Time the last event was processed.
     pub makespan_s: f64,
@@ -66,6 +68,21 @@ pub struct SimResult {
     pub telemetry: Vec<TelemetrySample>,
     /// Integral of allocated GPUs over time, in GPU-seconds.
     pub gpu_seconds: f64,
+    /// Event-loop work counters and phase timers for this run.
+    pub perf: PerfCounters,
+}
+
+/// Equality covers the simulation *outputs* only — `perf` holds
+/// wall-clock timers, which are nondeterministic by nature and must not
+/// break replay-determinism or mode-equivalence comparisons.
+impl PartialEq for SimResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.outcomes == other.outcomes
+            && self.unfinished == other.unfinished
+            && self.makespan_s == other.makespan_s
+            && self.telemetry == other.telemetry
+            && self.gpu_seconds == other.gpu_seconds
+    }
 }
 
 impl SimResult {

@@ -1,12 +1,43 @@
 //! The event loop of the flow-level simulator.
+//!
+//! # Fast path
+//!
+//! The loop's per-event cost is proportional to what changed, not to the
+//! cluster:
+//!
+//! - **Steady state** — in [`SteadyMode::Incremental`] (the default) the
+//!   manager keeps one warm water-filling estimator across the whole run
+//!   and re-solves only the resource-connected components touched by an
+//!   arrival batch or completion. The result is bit-identical to a
+//!   from-scratch solve ([`SteadyMode::Scratch`]), which is what the
+//!   `NETPACK_SIM` equivalence gate in `scripts/check.sh` checks.
+//! - **Completions** — rather than scanning every running job per event,
+//!   predicted finish times live in a lazy-invalidation min-heap. A
+//!   job's fluid progress is anchored at the last rate change
+//!   (`remaining_at_anchor` at `anchor_s`), so its predicted absolute
+//!   finish time is constant while its rate is constant and heap entries
+//!   stay valid without re-keying. When a rate *does* change, the job's
+//!   generation counter is bumped and a fresh entry pushed; entries with
+//!   stale generations are discarded when they surface at the top.
+//! - **Epoch grid** — the next scheduling-epoch time is computed in
+//!   closed form (no stepping loop), so a huge gap between the last
+//!   epoch and the next arrival costs O(1).
+//!
+//! [`SimResult::perf`] records the work: `sim_events`, `heap_pushes`,
+//! `heap_stale_pops` counters and `events`, `resolve_component`,
+//! `resolve_full`, `heap_ops` phase timers, plus the warm estimator's
+//! own counters (`wf_*`).
 
 use crate::{JobOutcome, SimResult, TelemetrySample};
 use netpack_core::{JobManager, ManagerConfig};
+use netpack_metrics::PerfCounters;
 use netpack_placement::Placer;
 use netpack_topology::{Cluster, JobId, LinkId};
 use netpack_waterfill::SteadyState;
 use netpack_workload::{Job, Trace};
-use std::collections::HashMap;
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, HashMap};
+use std::time::Instant;
 
 /// Which INA memory-multiplexing mode the cluster's switches run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -18,6 +49,31 @@ pub enum InaMode {
     /// Synchronous multiplexing (SwitchML-style equal static partitions):
     /// the comparison substrate for the §2.2 claims at cluster scale.
     Synchronous,
+}
+
+/// How the event loop obtains the steady state after the running set
+/// changes. Both paths produce bit-identical results; `Scratch` exists as
+/// the reference for equivalence tests and before/after benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SteadyMode {
+    /// Maintain one warm incremental estimator across the run, re-solving
+    /// only the components touched by each event (the fast default).
+    #[default]
+    Incremental,
+    /// Re-run Algorithm 1 from scratch over all running jobs per event.
+    Scratch,
+}
+
+impl SteadyMode {
+    /// Read the mode from the `NETPACK_SIM` environment variable:
+    /// `scratch` selects [`SteadyMode::Scratch`], anything else (or
+    /// unset) selects [`SteadyMode::Incremental`].
+    pub fn from_env() -> Self {
+        match std::env::var("NETPACK_SIM").as_deref() {
+            Ok("scratch") => SteadyMode::Scratch,
+            _ => SteadyMode::Incremental,
+        }
+    }
 }
 
 /// Simulator configuration.
@@ -33,6 +89,9 @@ pub struct SimConfig {
     pub telemetry_interval_s: Option<f64>,
     /// Switch memory-multiplexing mode (default statistical).
     pub ina_mode: InaMode,
+    /// Steady-state recomputation strategy (default: `NETPACK_SIM` env,
+    /// falling back to incremental).
+    pub steady: SteadyMode,
 }
 
 impl Default for SimConfig {
@@ -42,18 +101,112 @@ impl Default for SimConfig {
             max_sim_time_s: 90.0 * 86_400.0,
             telemetry_interval_s: None,
             ina_mode: InaMode::default(),
+            steady: SteadyMode::from_env(),
         }
     }
 }
 
-/// Per-running-job fluid state.
-#[derive(Debug, Clone)]
+/// Per-running-job fluid state, anchored at the last rate change.
+///
+/// Progress is *lazy*: nothing is updated per event. The remaining
+/// iteration count at time `t` is derived from the anchor, and the
+/// predicted absolute finish time is constant while `iter_time_s` is
+/// constant — that invariant is what keeps completion-heap entries valid
+/// without per-event re-keying.
+#[derive(Debug, Clone, Copy)]
 struct Progress {
-    job: Job,
-    remaining_iters: f64,
+    /// Compute phase seconds per iteration (constant per job).
+    compute_time_s: f64,
+    /// Gradient size in gigabits (constant per job).
+    gradient_gbits: f64,
+    /// Time the placement was enforced and training began.
+    start_s: f64,
     /// Seconds per iteration under the current steady state.
     iter_time_s: f64,
-    start_s: f64,
+    /// Remaining iterations at `anchor_s`.
+    remaining_at_anchor: f64,
+    /// Time of the last rate change (or the start).
+    anchor_s: f64,
+    /// Bumped on every rate change; completion-heap entries carrying an
+    /// older generation are stale.
+    generation: u64,
+}
+
+impl Progress {
+    /// Remaining iterations at absolute time `t` under the current rate.
+    fn remaining_at(&self, t: f64) -> f64 {
+        if self.iter_time_s.is_finite() && self.iter_time_s > 0.0 {
+            self.remaining_at_anchor - (t - self.anchor_s) / self.iter_time_s
+        } else {
+            self.remaining_at_anchor
+        }
+    }
+
+    /// Predicted absolute finish time (infinite while the job has no
+    /// finite rate yet).
+    fn predicted_finish_s(&self) -> f64 {
+        if self.iter_time_s.is_finite() && self.iter_time_s > 0.0 {
+            self.anchor_s + self.remaining_at_anchor.max(0.0) * self.iter_time_s
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// A completion-heap entry. Compared by finish time (then id, then
+/// generation, for deterministic ordering under ties).
+#[derive(Debug, Clone, Copy)]
+struct Completion {
+    finish_s: f64,
+    id: JobId,
+    generation: u64,
+}
+
+impl PartialEq for Completion {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Completion {}
+
+impl Ord for Completion {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.finish_s
+            .total_cmp(&other.finish_s)
+            .then(self.id.cmp(&other.id))
+            .then(self.generation.cmp(&other.generation))
+    }
+}
+
+impl PartialOrd for Completion {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Next epoch-grid point at or after `clock` and strictly after
+/// `last_epoch_run`, in closed form. Returns infinity when the grid can
+/// no longer advance in f64 (adding `epoch` saturates), so callers treat
+/// the epoch as unreachable instead of spinning.
+fn next_epoch_after(clock: f64, last_epoch_run: f64, epoch: f64) -> f64 {
+    let mut t = (clock / epoch).floor() * epoch;
+    if t < clock - 1e-9 {
+        t += epoch;
+    }
+    if t <= last_epoch_run + 1e-9 {
+        // Jump the whole gap at once instead of stepping epoch by epoch.
+        let steps = ((last_epoch_run + 1e-9 - t) / epoch).floor() + 1.0;
+        t += steps * epoch;
+        if t <= last_epoch_run + 1e-9 {
+            t += epoch;
+        }
+    }
+    if t <= last_epoch_run + 1e-9 || t < clock - 1e-9 {
+        f64::INFINITY
+    } else {
+        t
+    }
 }
 
 /// A trace-replay simulation over one cluster and one placer.
@@ -92,8 +245,13 @@ impl Simulation {
         } = self;
         let epoch = config.manager.epoch_s.max(1e-6);
         let total_gpus = cluster.total_gpus();
+        // The warm estimator models statistical multiplexing (Algorithm 1);
+        // synchronous mode always solves from scratch.
+        let use_incremental =
+            config.steady == SteadyMode::Incremental && config.ina_mode == InaMode::Statistical;
         let mut manager = JobManager::new(cluster, placer, config.manager);
         let mut result = SimResult::default();
+        let mut perf = PerfCounters::new();
 
         // Arrival queue (trace is sorted by arrival time).
         let mut arrivals: std::collections::VecDeque<Job> = trace
@@ -112,38 +270,43 @@ impl Simulation {
             .collect();
 
         let mut running: HashMap<JobId, Progress> = HashMap::new();
+        let mut heap: BinaryHeap<Reverse<Completion>> = BinaryHeap::new();
+        let mut used_gpus: usize = 0;
         let mut clock = 0.0f64;
         let mut last_epoch_run = f64::NEG_INFINITY;
+        // Scratch-mode state cache; incremental mode reads the manager's.
         let mut state: Option<SteadyState> = None;
+        let mut state_ready = false;
         let mut next_telemetry = 0.0f64;
 
         loop {
+            let event_start = Instant::now();
+            perf.incr("sim_events", 1);
+
             // -------- determine the next event time --------
             let next_arrival = arrivals.front().map(|j| j.arrival_s);
             let next_epoch = if manager.pending().is_empty() {
                 None
             } else {
-                // Next grid point at or after the clock, strictly after the
-                // last epoch we already ran.
-                let mut t = (clock / epoch).floor() * epoch;
-                if t < clock - 1e-9 {
-                    t += epoch;
-                }
-                while t <= last_epoch_run + 1e-9 {
-                    t += epoch;
-                }
-                Some(t)
+                Some(next_epoch_after(clock, last_epoch_run, epoch))
             };
-            let next_completion = running
-                .values()
-                .map(|p| {
-                    if p.iter_time_s.is_finite() && p.iter_time_s > 0.0 {
-                        clock + p.remaining_iters.max(0.0) * p.iter_time_s
-                    } else {
-                        f64::INFINITY
+            let heap_start = Instant::now();
+            let next_completion = loop {
+                match heap.peek() {
+                    None => break f64::INFINITY,
+                    Some(&Reverse(c)) => {
+                        let live = running
+                            .get(&c.id)
+                            .is_some_and(|p| p.generation == c.generation);
+                        if live {
+                            break c.finish_s;
+                        }
+                        heap.pop();
+                        perf.incr("heap_stale_pops", 1);
                     }
-                })
-                .fold(f64::INFINITY, f64::min);
+                }
+            };
+            perf.record("heap_ops", heap_start.elapsed());
             let next_tele = config
                 .telemetry_interval_s
                 .map(|_| next_telemetry)
@@ -159,31 +322,25 @@ impl Simulation {
                 t = t.min(cand);
             }
             if !t.is_finite() {
-                // No arrivals, no placeable pending work, no finite
-                // completions: drain what's left as unfinished.
-                for id in running.keys() {
-                    result.unfinished.push(*id);
-                }
+                // No arrivals, no reachable epoch, no finite completions:
+                // drain everything still in flight as unfinished.
+                result.unfinished.extend(running.keys().copied());
+                result.unfinished.extend(arrivals.iter().map(|j| j.id));
+                result.unfinished.extend(manager.pending().iter().map(|j| j.id));
                 break;
             }
             let t = t.clamp(clock, config.max_sim_time_s);
 
-            // -------- advance fluid progress to t --------
+            // -------- account GPU time to t --------
             let dt = t - clock;
             if dt > 0.0 {
-                let used: usize = running.values().map(|p| p.job.gpus).sum();
-                result.gpu_seconds += used as f64 * dt;
-                for p in running.values_mut() {
-                    if p.iter_time_s.is_finite() && p.iter_time_s > 0.0 {
-                        p.remaining_iters -= dt / p.iter_time_s;
-                    }
-                }
+                result.gpu_seconds += used_gpus as f64 * dt;
             }
             clock = t;
             if clock >= config.max_sim_time_s {
-                for id in running.keys() {
-                    result.unfinished.push(*id);
-                }
+                result.unfinished.extend(running.keys().copied());
+                result.unfinished.extend(arrivals.iter().map(|j| j.id));
+                result.unfinished.extend(manager.pending().iter().map(|j| j.id));
                 break;
             }
 
@@ -198,38 +355,52 @@ impl Simulation {
             }
 
             // -------- completions --------
-            let done: Vec<JobId> = running
-                .iter()
-                .filter(|(_, p)| p.remaining_iters <= 1e-6)
-                .map(|(&id, _)| id)
-                .collect();
-            for id in done {
-                let p = running.remove(&id).expect("listed above");
-                manager.finish(id).expect("job was running");
+            let heap_start = Instant::now();
+            while let Some(&Reverse(c)) = heap.peek() {
+                let live = running
+                    .get(&c.id)
+                    .is_some_and(|p| p.generation == c.generation);
+                if !live {
+                    heap.pop();
+                    perf.incr("heap_stale_pops", 1);
+                    continue;
+                }
+                if c.finish_s > clock + 1e-9 {
+                    break;
+                }
+                heap.pop();
+                let p = running.remove(&c.id).expect("live entry");
+                let (job, _placement) = manager.finish(c.id).expect("job was running");
+                used_gpus -= job.gpus;
                 result.outcomes.push(JobOutcome {
-                    id,
-                    gpus: p.job.gpus,
-                    arrival_s: p.job.arrival_s,
+                    id: c.id,
+                    gpus: job.gpus,
+                    arrival_s: job.arrival_s,
                     start_s: p.start_s,
                     finish_s: clock,
-                    serial_time_s: p.job.serial_time_s(),
+                    serial_time_s: job.serial_time_s(),
                 });
                 rates_dirty = true;
             }
+            perf.record("heap_ops", heap_start.elapsed());
 
             // -------- scheduling epoch --------
             let on_epoch_grid = ((clock / epoch).round() * epoch - clock).abs() < 1e-6;
             if !manager.pending().is_empty() && on_epoch_grid && clock > last_epoch_run + 1e-9 {
                 last_epoch_run = clock;
-                let placed = manager.run_epoch();
+                let placed = perf.time("place", || manager.run_epoch());
                 for (job, _) in placed {
+                    used_gpus += job.gpus;
                     running.insert(
                         job.id,
                         Progress {
-                            remaining_iters: job.iterations as f64,
-                            iter_time_s: f64::INFINITY, // set below
+                            compute_time_s: job.compute_time_s(),
+                            gradient_gbits: job.gradient_gbits(),
                             start_s: clock,
-                            job,
+                            iter_time_s: f64::INFINITY, // set by the re-rate below
+                            remaining_at_anchor: job.iterations as f64,
+                            anchor_s: clock,
+                            generation: 0,
                         },
                     );
                     rates_dirty = true;
@@ -237,28 +408,56 @@ impl Simulation {
             }
 
             // -------- rate recomputation --------
-            if rates_dirty || state.is_none() {
-                let s = match config.ina_mode {
-                    InaMode::Statistical => manager.steady_state(),
-                    InaMode::Synchronous => {
-                        let cluster = manager.cluster();
-                        let placed: Vec<netpack_waterfill::PlacedJob> = manager
-                            .running()
-                            .iter()
-                            .map(|(j, p)| {
-                                netpack_waterfill::PlacedJob::new(j.id, cluster, p)
-                            })
-                            .collect();
-                        netpack_waterfill::estimate_synchronous(cluster, &placed)
-                    }
+            if rates_dirty || !state_ready {
+                if use_incremental {
+                    let solve_start = Instant::now();
+                    let _ = manager.steady_state_incremental();
+                    perf.record("resolve_component", solve_start.elapsed());
+                } else {
+                    let s = perf.time("resolve_full", || match config.ina_mode {
+                        InaMode::Statistical => manager.steady_state(),
+                        InaMode::Synchronous => {
+                            let cluster = manager.cluster();
+                            let placed: Vec<netpack_waterfill::PlacedJob> = manager
+                                .running()
+                                .iter()
+                                .map(|(j, p)| netpack_waterfill::PlacedJob::new(j.id, cluster, p))
+                                .collect();
+                            netpack_waterfill::estimate_synchronous(cluster, &placed)
+                        }
+                    });
+                    state = Some(s);
+                }
+                state_ready = true;
+                let s = if use_incremental {
+                    manager.incremental_state().expect("just resolved")
+                } else {
+                    state.as_ref().expect("just solved")
                 };
                 for (id, p) in running.iter_mut() {
                     let comm = s
-                        .comm_time_s(*id, p.job.gradient_gbits())
+                        .comm_time_s(*id, p.gradient_gbits)
                         .unwrap_or(f64::INFINITY);
-                    p.iter_time_s = p.job.compute_time_s() + comm;
+                    let iter_time = p.compute_time_s + comm;
+                    // Re-anchor (and re-key the heap) only on an actual
+                    // change: an unchanged rate keeps the existing entry's
+                    // predicted finish time exactly valid.
+                    if iter_time != p.iter_time_s {
+                        p.remaining_at_anchor = p.remaining_at(clock);
+                        p.anchor_s = clock;
+                        p.iter_time_s = iter_time;
+                        p.generation += 1;
+                        let finish = p.predicted_finish_s();
+                        if finish.is_finite() {
+                            heap.push(Reverse(Completion {
+                                finish_s: finish,
+                                id: *id,
+                                generation: p.generation,
+                            }));
+                            perf.incr("heap_pushes", 1);
+                        }
+                    }
                 }
-                state = Some(s);
             }
 
             // -------- telemetry --------
@@ -266,7 +465,12 @@ impl Simulation {
                 if clock + 1e-9 >= next_telemetry {
                     next_telemetry = clock + interval;
                 }
-                if let Some(s) = &state {
+                let view = if use_incremental {
+                    manager.incremental_state()
+                } else {
+                    state.as_ref()
+                };
+                if let Some(s) = view {
                     let cluster = manager.cluster();
                     let link_used: Vec<f64> = (0..cluster.num_links())
                         .map(|i| {
@@ -291,6 +495,8 @@ impl Simulation {
                 }
             }
 
+            perf.record("events", event_start.elapsed());
+
             // -------- termination --------
             if arrivals.is_empty() && manager.pending().is_empty() && running.is_empty() {
                 break;
@@ -298,6 +504,18 @@ impl Simulation {
         }
         result.makespan_s = clock;
         result.outcomes.sort_by(|a, b| a.finish_s.total_cmp(&b.finish_s));
+        result.unfinished.sort_unstable();
+        for w in result.unfinished.windows(2) {
+            assert!(w[0] != w[1], "job {} reported unfinished twice", w[0]);
+        }
+        if let Some(stats) = manager.waterfill_stats() {
+            perf.incr("wf_pushes", stats.pushes);
+            perf.incr("wf_removes", stats.removes);
+            perf.incr("wf_components_solved", stats.components_solved);
+            perf.incr("wf_jobs_resolved", stats.jobs_resolved);
+            perf.incr("wf_jobs_reused", stats.jobs_reused);
+        }
+        result.perf = perf;
         result
     }
 }
@@ -335,6 +553,7 @@ mod tests {
         let ideal = 100.0 * ModelKind::ResNet50.compute_time_s();
         assert!((o.jct_s() - ideal).abs() < 1e-6, "jct {}", o.jct_s());
         assert!(result.unfinished.is_empty());
+        assert!(result.perf.counter("sim_events") > 0);
     }
 
     #[test]
@@ -441,6 +660,138 @@ mod tests {
             .map(|o| o.finish_s)
             .fold(0.0, f64::max);
         assert!(result.makespan_s >= last - 1e-6);
+    }
+
+    #[test]
+    fn incremental_and_scratch_modes_agree_exactly() {
+        let trace = TraceSpec::new(TraceKind::Real, 20)
+            .seed(11)
+            .duration_scale(0.03)
+            .max_gpus(12)
+            .generate();
+        let run = |steady| {
+            let config = SimConfig {
+                steady,
+                telemetry_interval_s: Some(50.0),
+                ..SimConfig::default()
+            };
+            Simulation::new(cluster(), Box::new(NetPackPlacer::default()), config).run(&trace)
+        };
+        let inc = run(SteadyMode::Incremental);
+        let scratch = run(SteadyMode::Scratch);
+        assert_eq!(inc, scratch);
+        // The fast path actually took the incremental branch…
+        assert!(inc.perf.timer_count("resolve_component") > 0);
+        assert_eq!(inc.perf.timer_count("resolve_full"), 0);
+        // …and reused far more job solves than it redid.
+        assert!(inc.perf.counter("wf_jobs_reused") > inc.perf.counter("wf_jobs_resolved") / 2);
+    }
+
+    #[test]
+    fn time_cap_reports_running_and_queued_jobs_sorted() {
+        // One hog that cannot finish before the cap, one job queued behind
+        // it, and one arrival after the cap: all three must be reported,
+        // sorted, exactly once.
+        let hog = Job::builder(JobId(2), ModelKind::AlexNet, 16)
+            .iterations(u64::MAX)
+            .build();
+        let queued = Job::builder(JobId(0), ModelKind::AlexNet, 16)
+            .arrival_s(10.0)
+            .build();
+        let late = Job::builder(JobId(1), ModelKind::AlexNet, 4)
+            .arrival_s(1e7)
+            .build();
+        let config = SimConfig {
+            max_sim_time_s: 500.0,
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(cluster(), Box::new(GpuBalance), config);
+        let result = sim.run(&Trace::from_jobs(vec![hog, queued, late]));
+        assert!(result.outcomes.is_empty());
+        assert_eq!(result.unfinished, vec![JobId(0), JobId(1), JobId(2)]);
+        assert!(result.makespan_s <= 500.0 + 1e-6);
+    }
+}
+
+#[cfg(test)]
+mod epoch_grid_tests {
+    use super::*;
+    use netpack_placement::GpuBalance;
+    use netpack_topology::ClusterSpec;
+    use netpack_workload::ModelKind;
+
+    #[test]
+    fn closed_form_matches_stepping() {
+        let reference = |clock: f64, last: f64, epoch: f64| {
+            let mut t = (clock / epoch).floor() * epoch;
+            if t < clock - 1e-9 {
+                t += epoch;
+            }
+            while t <= last + 1e-9 {
+                t += epoch;
+            }
+            t
+        };
+        for &(clock, last, epoch) in &[
+            (0.0, f64::NEG_INFINITY, 60.0),
+            (59.0, 0.0, 60.0),
+            (60.0, 60.0, 60.0),
+            (61.0, 60.0, 60.0),
+            (1234.5, 1200.0, 60.0),
+            (0.0, 600.0, 60.0),
+            (100.0, 100.0, 7.5),
+        ] {
+            let got = next_epoch_after(clock, last, epoch);
+            let want = reference(clock, last, epoch);
+            assert!(
+                (got - want).abs() < 1e-6,
+                "clock {clock} last {last} epoch {epoch}: {got} vs {want}"
+            );
+            assert!(got >= clock - 1e-9 && got > last + 1e-9);
+        }
+    }
+
+    #[test]
+    fn saturated_grid_returns_infinity() {
+        // At magnitudes where adding one epoch is a float no-op, the grid
+        // cannot advance past `last` — report unreachable, don't spin.
+        let t = next_epoch_after(1e18, 1e18, 60.0);
+        assert!(t.is_infinite());
+    }
+
+    #[test]
+    fn huge_gap_to_next_arrival_is_cheap_and_correct() {
+        // Job 0 runs for a long time; job 1 arrives ~10^7 s later, far
+        // past the last-run epoch. The old stepping loop walked the whole
+        // gap epoch by epoch on every event; the closed form must land
+        // job 1 on the first grid point at/after its arrival.
+        let cluster = Cluster::new(ClusterSpec {
+            racks: 1,
+            servers_per_rack: 4,
+            gpus_per_server: 4,
+            ..ClusterSpec::paper_default()
+        });
+        let arrival = 1.0e7 + 1.0;
+        let jobs = vec![
+            Job::builder(JobId(0), ModelKind::AlexNet, 16)
+                .iterations(2_000_000)
+                .build(),
+            Job::builder(JobId(1), ModelKind::AlexNet, 4)
+                .arrival_s(arrival)
+                .build(),
+        ];
+        let config = SimConfig {
+            max_sim_time_s: 1.0e9,
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(cluster, Box::new(GpuBalance), config);
+        let result = sim.run(&Trace::from_jobs(jobs));
+        assert_eq!(result.outcomes.len(), 2);
+        let second = result.outcomes.iter().find(|o| o.id == JobId(1)).unwrap();
+        let epoch = ManagerConfig::default().epoch_s;
+        assert!(second.start_s >= arrival - 1e-6);
+        let on_grid = ((second.start_s / epoch).round() * epoch - second.start_s).abs() < 1e-6;
+        assert!(on_grid, "start {} not on the epoch grid", second.start_s);
     }
 }
 

@@ -1,7 +1,7 @@
 //! Property tests for the flow-level simulator: accounting invariants that
 //! must hold for any trace and any placer.
 
-use netpack_flowsim::{SimConfig, Simulation};
+use netpack_flowsim::{InaMode, SimConfig, Simulation, SteadyMode};
 use netpack_placement::{GpuBalance, NetPackPlacer, Placer, RandomPlacer};
 use netpack_topology::{Cluster, ClusterSpec, JobId};
 use netpack_workload::{Job, ModelKind, Trace};
@@ -127,5 +127,49 @@ proptest! {
         for w in serial_sums.windows(2) {
             prop_assert!((w[0] - w[1]).abs() < 1e-6);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The incremental steady-state path replays any trace with a
+    /// *bit-identical* `SimResult` — outcomes, unfinished set, makespan,
+    /// telemetry, and GPU-seconds — to the from-scratch reference path,
+    /// across random clusters, INA modes (including synchronous), and
+    /// placers. Exact equality is deliberate: the warm estimator must
+    /// replay the very same float-op sequence, not merely approximate it.
+    #[test]
+    fn incremental_replay_is_bit_identical_to_scratch(
+        (trace, racks, sync_mode, telemetry, placer_pick) in (
+            arb_trace(8),
+            1usize..3,
+            any::<bool>(),
+            any::<bool>(),
+            0usize..3,
+        )
+    ) {
+        let spec = ClusterSpec {
+            racks,
+            servers_per_rack: 4,
+            gpus_per_server: 2,
+            ..ClusterSpec::paper_default()
+        };
+        let ina_mode = if sync_mode { InaMode::Synchronous } else { InaMode::Statistical };
+        let run = |steady| {
+            let config = SimConfig {
+                steady,
+                ina_mode,
+                telemetry_interval_s: telemetry.then_some(20.0),
+                ..SimConfig::default()
+            };
+            let placer: Box<dyn Placer> = match placer_pick {
+                0 => Box::new(NetPackPlacer::default()),
+                1 => Box::new(GpuBalance),
+                _ => Box::new(RandomPlacer::new(5)),
+            };
+            Simulation::new(Cluster::new(spec.clone()), placer, config).run(&trace)
+        };
+        prop_assert_eq!(run(SteadyMode::Incremental), run(SteadyMode::Scratch));
     }
 }

@@ -8,7 +8,7 @@
 use crate::placer::{greedy_batch, take_in_order, BatchOutcome, Placer, RunningJob};
 use netpack_model::Placement;
 use netpack_topology::{Cluster, ServerId};
-use netpack_waterfill::{estimate, PlacedJob};
+use netpack_waterfill::{IncrementalEstimator, PlacedJob};
 use netpack_workload::Job;
 
 /// Turn an ordered server preference into a placement: fill GPUs in order,
@@ -67,11 +67,15 @@ impl Placer for FlowBalance {
         running: &[RunningJob],
         batch: &[Job],
     ) -> BatchOutcome {
-        let mut active: Vec<PlacedJob> = running.iter().map(|r| r.to_placed(cluster)).collect();
+        let active: Vec<PlacedJob> = running.iter().map(|r| r.to_placed(cluster)).collect();
         let mut scratch = cluster.clone();
+        // One incremental tracker per batch: each placed job is pushed
+        // into the running estimate instead of re-solving from scratch
+        // per candidate (bit-identical by the waterfill property tests).
+        let mut tracker = IncrementalEstimator::new(&scratch, &active);
         let mut outcome = BatchOutcome::default();
         for job in batch {
-            let state = estimate(&scratch, &active);
+            let state = tracker.state();
             let mut order: Vec<ServerId> = scratch.servers().iter().map(|s| s.id()).collect();
             order.sort_by(|&a, &b| {
                 state
@@ -90,7 +94,7 @@ impl Placer for FlowBalance {
                     for &(s, w) in placement.workers() {
                         scratch.allocate_gpus(s, w).expect("within free GPUs");
                     }
-                    active.push(PlacedJob::new(job.id, &scratch, &placement));
+                    tracker.push(&scratch, PlacedJob::new(job.id, &scratch, &placement));
                     outcome.placed.push((job.clone(), placement));
                 }
                 None => outcome.deferred.push(job.clone()),

@@ -123,35 +123,60 @@ impl WorkerDp {
         value[0] = 0.0;
         // decisions[s][f * width + g] = predecessor f if server s chosen.
         let mut decisions = vec![NOT_CHOSEN; servers.len() * cells];
-        let mut next = vec![f64::NEG_INFINITY; cells];
+        // Highest f row holding any finite cell; rows above it are all
+        // -inf and can be skipped without changing any result.
+        let mut top = 0usize;
 
+        // In-place 0/1 update. Taking server `s` moves (i, g-w) to
+        // (max(i, clamped), g), so writes land in rows >= clamped while
+        // reads come from rows <= the written row; walking g downward
+        // keeps every read a pre-update value, exactly as a double
+        // buffer would. Candidates for a cell are applied in ascending
+        // `i` order with a strict `>` test, so tie-breaks (and hence the
+        // backtracked plans) match the buffered formulation bit for bit.
         for (si, srv) in servers.iter().enumerate() {
             let w = srv.gpus_free;
-            next.copy_from_slice(&value);
-            if w > 0 && w <= g_max {
-                let clamped = if self.track_flows {
-                    srv.flows.min(self.fs_max) as usize
-                } else {
-                    0
-                };
-                let dec = &mut decisions[si * cells..(si + 1) * cells];
-                for i in 0..nf {
-                    let f = i.max(clamped);
-                    for g in w..=g_max {
-                        let prev = value[i * width + (g - w)];
-                        if prev == f64::NEG_INFINITY {
-                            continue;
-                        }
-                        let cand = prev + srv.value;
-                        let cell = f * width + g;
-                        if cand > next[cell] {
-                            next[cell] = cand;
-                            dec[cell] = i as u8;
-                        }
+            if w == 0 || w > g_max {
+                continue;
+            }
+            let clamped = if self.track_flows {
+                srv.flows.min(self.fs_max) as usize
+            } else {
+                0
+            };
+            let dec = &mut decisions[si * cells..(si + 1) * cells];
+            // Rows above `clamped`: the only candidate is i == f.
+            for f in clamped + 1..=top.min(nf - 1) {
+                let row = f * width;
+                for g in (w..=g_max).rev() {
+                    let prev = value[row + g - w];
+                    if prev == f64::NEG_INFINITY {
+                        continue;
+                    }
+                    let cand = prev + srv.value;
+                    if cand > value[row + g] {
+                        value[row + g] = cand;
+                        dec[row + g] = f as u8;
                     }
                 }
             }
-            value.copy_from_slice(&next);
+            // Row `clamped` collects every i <= clamped (rows above `top`
+            // are all -inf and contribute nothing).
+            let row = clamped * width;
+            for g in (w..=g_max).rev() {
+                for i in 0..=clamped.min(top) {
+                    let prev = value[i * width + g - w];
+                    if prev == f64::NEG_INFINITY {
+                        continue;
+                    }
+                    let cand = prev + srv.value;
+                    if cand > value[row + g] {
+                        value[row + g] = cand;
+                        dec[row + g] = i as u8;
+                    }
+                }
+            }
+            top = top.max(clamped);
         }
 
         // Collect and backtrack every feasible (f, g) cell in range.

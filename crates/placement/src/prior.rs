@@ -4,7 +4,7 @@
 use crate::placer::{BatchOutcome, Placer, RunningJob};
 use netpack_model::Placement;
 use netpack_topology::{Cluster, ServerId};
-use netpack_waterfill::{estimate, PlacedJob, SteadyState};
+use netpack_waterfill::{IncrementalEstimator, PlacedJob, SteadyState};
 use netpack_workload::Job;
 
 /// **Optimus** (Peng et al., EuroSys'18): sort candidate servers by
@@ -158,17 +158,19 @@ impl Placer for TetrisLike {
         running: &[RunningJob],
         batch: &[Job],
     ) -> BatchOutcome {
-        let mut active: Vec<PlacedJob> = running.iter().map(|r| r.to_placed(cluster)).collect();
+        let active: Vec<PlacedJob> = running.iter().map(|r| r.to_placed(cluster)).collect();
         let mut scratch = cluster.clone();
+        // Incremental steady-state across the batch: push each placed job
+        // instead of a from-scratch water-fill per candidate.
+        let mut tracker = IncrementalEstimator::new(&scratch, &active);
         let mut outcome = BatchOutcome::default();
         for job in batch {
-            let state = estimate(&scratch, &active);
-            match Self::place_one(&scratch, &state, job) {
+            match Self::place_one(&scratch, tracker.state(), job) {
                 Some(placement) => {
                     for &(s, w) in placement.workers() {
                         scratch.allocate_gpus(s, w).expect("within free GPUs");
                     }
-                    active.push(PlacedJob::new(job.id, &scratch, &placement));
+                    tracker.push(&scratch, PlacedJob::new(job.id, &scratch, &placement));
                     outcome.placed.push((job.clone(), placement));
                 }
                 None => outcome.deferred.push(job.clone()),
@@ -195,11 +197,13 @@ impl Placer for Comb {
         running: &[RunningJob],
         batch: &[Job],
     ) -> BatchOutcome {
-        let mut active: Vec<PlacedJob> = running.iter().map(|r| r.to_placed(cluster)).collect();
+        let active: Vec<PlacedJob> = running.iter().map(|r| r.to_placed(cluster)).collect();
         let mut scratch = cluster.clone();
+        // Same incremental-tracker pattern as Tetris above.
+        let mut tracker = IncrementalEstimator::new(&scratch, &active);
         let mut outcome = BatchOutcome::default();
         for job in batch {
-            let state = estimate(&scratch, &active);
+            let state = tracker.state();
             let mut order: Vec<ServerId> = scratch.servers().iter().map(|s| s.id()).collect();
             order.sort_by(|&a, &b| {
                 let sa = scratch.server(a).expect("srv");
@@ -231,7 +235,7 @@ impl Placer for Comb {
                     for &(s, w) in placement.workers() {
                         scratch.allocate_gpus(s, w).expect("within free GPUs");
                     }
-                    active.push(PlacedJob::new(job.id, &scratch, &placement));
+                    tracker.push(&scratch, PlacedJob::new(job.id, &scratch, &placement));
                     outcome.placed.push((job.clone(), placement));
                 }
                 None => outcome.deferred.push(job.clone()),

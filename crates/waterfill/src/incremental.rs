@@ -21,8 +21,16 @@
 //! Pushing a job dirties precisely the union of the components its
 //! resource nodes connect to, where a job's resource nodes are its links
 //! plus — only when it is INA-enabled — the PAT pools of its switches.
-//! Everything else stays cached. There is no `remove`: the placer's scoring
-//! loop only ever adds jobs, and batch boundaries start a fresh estimator.
+//! Everything else stays cached.
+//!
+//! Removing a job ([`remove`](IncrementalEstimator::remove)) dirties the
+//! component the job *leaves*: its former co-members are regrouped (the
+//! component may split now that the bridge is gone) and each surviving
+//! sub-component is re-solved from virgin resources, again in global
+//! insertion order. Resources only the removed job touched return to full
+//! capacity. This is what lets a long-running simulation keep one warm
+//! estimator across arbitrarily interleaved placements and completions —
+//! the flow-level simulator's fast path.
 //!
 //! # Example
 //!
@@ -59,7 +67,7 @@ use crate::waterfill::{
     empty_state, link_capacity, partition_components, solve_component, Dsu, PlacedJob,
 };
 use crate::SteadyState;
-use netpack_topology::Cluster;
+use netpack_topology::{Cluster, JobId};
 
 /// Work counters for one estimator instance.
 ///
@@ -71,7 +79,10 @@ use netpack_topology::Cluster;
 pub struct WaterfillStats {
     /// Incremental `push` calls served.
     pub pushes: u64,
-    /// Network jobs actually water-filled (at construction and on pushes).
+    /// Incremental `remove` calls served.
+    pub removes: u64,
+    /// Network jobs actually water-filled (at construction and on
+    /// pushes/removes).
     pub jobs_resolved: u64,
     /// Network jobs whose converged rates were kept from the snapshot
     /// instead of being re-solved.
@@ -203,6 +214,110 @@ impl IncrementalEstimator {
         self.stats.jobs_reused += self.network_job_count() - refs.len() as u64;
     }
 
+    /// Remove the job `id` and re-solve only the component it leaves.
+    ///
+    /// The former component may split now that the removed job's resources
+    /// no longer bridge its co-members; each surviving sub-component is
+    /// re-filled from virgin capacity in global insertion order, so the
+    /// resulting [`state`](Self::state) is bit-identical to
+    /// `estimate(cluster, remaining_jobs_in_insertion_order)`. Returns
+    /// `false` (and changes nothing) when `id` is not in the estimate.
+    pub fn remove(&mut self, cluster: &Cluster, id: JobId) -> bool {
+        let Some(idx) = self.jobs.iter().position(|j| j.id() == id) else {
+            return false;
+        };
+        self.stats.removes += 1;
+        let removed_nodes = self.job_nodes[idx].clone();
+        // Pre-removal indices of the network jobs sharing the removed job's
+        // component — the only jobs whose converged numbers can change.
+        let mut co: Vec<usize> = Vec::new();
+        if !removed_nodes.is_empty() {
+            let root = self.dsu.find(removed_nodes[0]);
+            for (i, nodes) in self.job_nodes.iter().enumerate() {
+                if i == idx {
+                    continue;
+                }
+                if let Some(&first) = nodes.first() {
+                    if self.dsu.find(first) == root {
+                        co.push(i);
+                    }
+                }
+            }
+        }
+        self.jobs.remove(idx);
+        self.job_nodes.remove(idx);
+        self.state.job_rates.remove(&id);
+        self.state.job_shards.remove(&id);
+        for i in &mut co {
+            if *i > idx {
+                *i -= 1;
+            }
+        }
+        if removed_nodes.is_empty() {
+            // Local job: it touched no resource, so every cached component
+            // survives verbatim.
+            self.stats.jobs_reused += self.network_job_count();
+            return true;
+        }
+
+        // Union-find supports no deletion: rebuild it over the remaining
+        // jobs. This is cheap array work; the expensive part — the
+        // water-filling below — stays restricted to the left component.
+        self.dsu = Dsu::new(cluster.num_links() + cluster.num_racks());
+        for nodes in &self.job_nodes {
+            for w in nodes.windows(2) {
+                self.dsu.union(w[0], w[1]);
+            }
+        }
+
+        // Reset the left component's resources to virgin capacity; nodes
+        // only the removed job touched return to (and stay at) full
+        // capacity, exactly as a from-scratch solve would leave them.
+        let n_links = cluster.num_links();
+        let mut dirty = removed_nodes;
+        dirty.extend(co.iter().flat_map(|&i| self.job_nodes[i].iter().copied()));
+        dirty.sort_unstable();
+        dirty.dedup();
+        for node in dirty {
+            if node < n_links {
+                self.state.link_residual[node] = link_capacity(cluster, node);
+                self.state.link_flows[node] = 0;
+            } else {
+                self.state.pat_residual[node - n_links] =
+                    cluster.racks()[node - n_links].pat_gbps();
+            }
+        }
+
+        // Group the co-members by their new root (the component may have
+        // split) and water-fill each sub-component; `co` is ascending, so
+        // members stay in global insertion order within each group.
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for &i in &co {
+            let root = self.dsu.find(self.job_nodes[i][0]);
+            match groups.iter_mut().find(|(r, _)| *r == root) {
+                Some((_, g)) => g.push(i),
+                None => groups.push((root, vec![i])),
+            }
+        }
+        for (_, group) in &groups {
+            let refs: Vec<&PlacedJob> = group.iter().map(|&i| &self.jobs[i]).collect();
+            solve_component(cluster, &refs, &mut self.state);
+            self.stats.components_solved += 1;
+            self.stats.jobs_resolved += refs.len() as u64;
+        }
+        self.stats.jobs_reused += self.network_job_count() - co.len() as u64;
+        true
+    }
+
+    /// Re-tune a job in place: remove any existing job with `job`'s id,
+    /// then push `job`. The result is bit-identical to a from-scratch
+    /// solve over the current job list with the re-tuned job moved to the
+    /// end of the insertion order.
+    pub fn replace(&mut self, cluster: &Cluster, job: PlacedJob) {
+        self.remove(cluster, job.id());
+        self.push(cluster, job);
+    }
+
     fn network_job_count(&self) -> u64 {
         self.job_nodes.iter().filter(|n| !n.is_empty()).count() as u64
     }
@@ -303,6 +418,106 @@ mod tests {
         inc.push(&c, bridge.clone());
         assert_eq!(inc.stats().jobs_resolved, 5, "merge must re-solve all 3");
         assert_state_eq(inc.state(), &estimate(&c, &[a, b, bridge]));
+    }
+
+    #[test]
+    fn remove_matches_from_scratch_bitwise() {
+        let c = cluster(2, 4, 60.0);
+        let all = [
+            job(0, &c, vec![(0, 2), (4, 2)], 1),
+            job(1, &c, vec![(2, 1), (5, 1)], 6),
+            job(2, &c, vec![(3, 4)], 7),
+            job(3, &c, vec![(1, 1), (2, 1)], 0),
+        ];
+        let mut inc = IncrementalEstimator::new(&c, &all);
+        // Remove the jobs one by one (middle-out) and check against a
+        // from-scratch solve of the survivors after every step.
+        assert!(inc.remove(&c, JobId(1)));
+        assert_state_eq(
+            inc.state(),
+            &estimate(&c, &[all[0].clone(), all[2].clone(), all[3].clone()]),
+        );
+        assert!(inc.remove(&c, JobId(3)));
+        assert_state_eq(inc.state(), &estimate(&c, &[all[0].clone(), all[2].clone()]));
+        assert!(inc.remove(&c, JobId(0)));
+        assert_state_eq(inc.state(), &estimate(&c, std::slice::from_ref(&all[2])));
+        assert!(inc.remove(&c, JobId(2)));
+        assert_state_eq(inc.state(), &estimate(&c, &[]));
+        assert_eq!(inc.num_jobs(), 0);
+        assert_eq!(inc.stats().removes, 4);
+    }
+
+    #[test]
+    fn remove_unknown_job_is_a_noop() {
+        let c = cluster(1, 3, 500.0);
+        let a = job(0, &c, vec![(0, 1), (1, 1)], 2);
+        let mut inc = IncrementalEstimator::new(&c, std::slice::from_ref(&a));
+        let before = inc.state().clone();
+        assert!(!inc.remove(&c, JobId(99)));
+        assert_state_eq(inc.state(), &before);
+        assert_eq!(inc.stats().removes, 0);
+    }
+
+    #[test]
+    fn removing_a_bridge_splits_the_component() {
+        // Jobs in racks 0 and 1 joined by a bridge job spanning both; when
+        // the bridge finishes, the survivors re-solve as two components.
+        let c = cluster(2, 3, 500.0);
+        let a = job(0, &c, vec![(0, 1), (1, 1)], 2);
+        let b = job(1, &c, vec![(3, 1), (4, 1)], 5);
+        let bridge = job(2, &c, vec![(0, 1), (3, 1)], 1);
+        let mut inc = IncrementalEstimator::new(&c, &[a.clone(), b.clone(), bridge]);
+        let solved_before = inc.stats().components_solved;
+        inc.remove(&c, JobId(2));
+        assert_eq!(
+            inc.stats().components_solved - solved_before,
+            2,
+            "the split must yield two independent re-solves"
+        );
+        assert_state_eq(inc.state(), &estimate(&c, &[a, b]));
+    }
+
+    #[test]
+    fn remove_does_not_touch_disjoint_components() {
+        let c = cluster(2, 3, 500.0);
+        let a = job(0, &c, vec![(0, 1), (1, 1)], 2);
+        let b = job(1, &c, vec![(3, 1), (4, 1)], 5);
+        let mut inc = IncrementalEstimator::new(&c, &[a.clone(), b.clone()]);
+        let rate_b = inc.state().job_rate_gbps(JobId(1));
+        let resolved_before = inc.stats().jobs_resolved;
+        inc.remove(&c, JobId(0));
+        // Rack-1's component was reused verbatim, not re-filled.
+        assert_eq!(inc.stats().jobs_resolved, resolved_before);
+        assert_eq!(inc.stats().jobs_reused, 1);
+        assert_eq!(inc.state().job_rate_gbps(JobId(1)), rate_b);
+        assert_state_eq(inc.state(), &estimate(&c, std::slice::from_ref(&b)));
+    }
+
+    #[test]
+    fn removing_a_local_job_costs_nothing() {
+        let c = cluster(1, 3, 500.0);
+        let net = job(0, &c, vec![(0, 1), (1, 1)], 2);
+        let local = PlacedJob::new(JobId(9), &c, &Placement::local(ServerId(0), 4));
+        let mut inc = IncrementalEstimator::new(&c, std::slice::from_ref(&net));
+        inc.push(&c, local);
+        let resolved_before = inc.stats().jobs_resolved;
+        inc.remove(&c, JobId(9));
+        assert_eq!(inc.stats().jobs_resolved, resolved_before);
+        assert_state_eq(inc.state(), &estimate(&c, &[net]));
+    }
+
+    #[test]
+    fn replace_retunes_a_job_in_place() {
+        let c = cluster(1, 4, 500.0);
+        let a = job(0, &c, vec![(0, 1), (1, 1)], 2);
+        let b = job(1, &c, vec![(0, 2)], 3);
+        let mut inc = IncrementalEstimator::new(&c, &[a, b.clone()]);
+        // Job 0 migrates to a different worker set.
+        let moved = job(0, &c, vec![(2, 1), (3, 1)], 1);
+        inc.replace(&c, moved.clone());
+        assert_eq!(inc.num_jobs(), 2);
+        // Equivalent from-scratch order: survivors first, replaced job last.
+        assert_state_eq(inc.state(), &estimate(&c, &[b, moved]));
     }
 
     #[test]

@@ -2,8 +2,43 @@
 
 use netpack_model::Placement;
 use netpack_topology::{Cluster, ClusterSpec, JobId, LinkId, RackId, ServerId};
-use netpack_waterfill::{estimate, IncrementalEstimator, PlacedJob};
+use netpack_waterfill::{estimate, IncrementalEstimator, PlacedJob, SteadyState};
 use proptest::prelude::*;
+
+/// Exact (`==` on floats) comparison of a warm incremental state against a
+/// from-scratch solve over `jobs` — the bit-identity contract.
+fn assert_bitwise_match(
+    cluster: &Cluster,
+    inc: &SteadyState,
+    scratch: &SteadyState,
+    jobs: &[PlacedJob],
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(inc.num_jobs(), scratch.num_jobs());
+    for job in jobs {
+        prop_assert_eq!(
+            inc.job_rate_gbps(job.id()),
+            scratch.job_rate_gbps(job.id()),
+            "rate diverged for {}",
+            job.id()
+        );
+        prop_assert_eq!(inc.job_shards(job.id()), scratch.job_shards(job.id()));
+    }
+    for l in 0..cluster.num_links() {
+        let link = LinkId::from_index(l, cluster);
+        prop_assert_eq!(
+            inc.link_residual_gbps(link, cluster),
+            scratch.link_residual_gbps(link, cluster)
+        );
+        prop_assert_eq!(inc.link_flows(link, cluster), scratch.link_flows(link, cluster));
+    }
+    for r in 0..cluster.num_racks() {
+        prop_assert_eq!(
+            inc.pat_residual_gbps(RackId(r)),
+            scratch.pat_residual_gbps(RackId(r))
+        );
+    }
+    Ok(())
+}
 
 /// Generate a random small cluster spec.
 fn arb_cluster() -> impl Strategy<Value = Cluster> {
@@ -173,6 +208,51 @@ proptest! {
         // solving at every prefix would (and usually does much less).
         let scratch_work: u64 = (1..=jobs.len() as u64).sum();
         prop_assert!(inc.stats().jobs_resolved <= scratch_work);
+    }
+
+    /// Interleaved add/remove sequences keep the warm estimator
+    /// bit-identical to a from-scratch solve over the surviving jobs —
+    /// the contract the simulator's event loop relies on, where arrivals
+    /// and completions alternate in arbitrary order. The op stream is
+    /// driven by random words: even words push the next unseen job (when
+    /// any remain), odd words remove a random live one.
+    #[test]
+    fn incremental_interleaved_ops_match_from_scratch(
+        ((cluster, jobs), ops) in arb_cluster().prop_flat_map(|c| {
+            let jobs = arb_jobs(&c);
+            (Just(c), jobs)
+        }).prop_flat_map(|(c, jobs)| {
+            let n = jobs.len();
+            let ops = proptest::collection::vec(any::<u32>(), 2 * n);
+            (Just((c, jobs)), ops)
+        })
+    ) {
+        let mut inc = IncrementalEstimator::new(&cluster, &[]);
+        let mut live: Vec<PlacedJob> = Vec::new();
+        let mut next = 0usize;
+        for &word in &ops {
+            let push = word % 2 == 0 && next < jobs.len();
+            if push {
+                let job = jobs[next].clone();
+                next += 1;
+                live.push(job.clone());
+                inc.push(&cluster, job);
+            } else if !live.is_empty() {
+                let victim = (word as usize / 2) % live.len();
+                let id = live.remove(victim).id();
+                prop_assert!(inc.remove(&cluster, id));
+            } else if next < jobs.len() {
+                // Nothing to remove yet: push instead so the op is not wasted.
+                let job = jobs[next].clone();
+                next += 1;
+                live.push(job.clone());
+                inc.push(&cluster, job);
+            } else {
+                continue;
+            }
+            let scratch = estimate(&cluster, &live);
+            assert_bitwise_match(&cluster, inc.state(), &scratch, &live)?;
+        }
     }
 
     /// Scale invariance: doubling all capacities (links and PAT) doubles

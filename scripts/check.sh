@@ -20,4 +20,15 @@ cargo test --workspace --doc -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> fig9 smoke: incremental vs scratch steady state must match"
+smoke_inc=$(NETPACK_SMOKE=1 NETPACK_QUICK=1 NETPACK_REPEATS=1 NETPACK_SIM=incremental \
+    ./target/release/fig9_scale)
+smoke_scr=$(NETPACK_SMOKE=1 NETPACK_QUICK=1 NETPACK_REPEATS=1 NETPACK_SIM=scratch \
+    ./target/release/fig9_scale)
+if ! diff <(printf '%s\n' "$smoke_inc") <(printf '%s\n' "$smoke_scr"); then
+    echo "check.sh: fig9 smoke DIVERGED between NETPACK_SIM modes" >&2
+    exit 1
+fi
+printf '%s\n' "$smoke_inc"
+
 echo "check.sh: all green"
