@@ -4,8 +4,10 @@
 //! bench runs the same two-level topology through the packet-level
 //! hierarchy pipeline and compares the measured per-group packet counts on
 //! the core→PS-rack link (`FC`) and the ToR→PS link (`FS`) against the
-//! closed-form prediction.
+//! closed-form prediction. The rate points are independent cells fanned
+//! out via [`parallel_sweep`].
 
+use netpack_bench::{emit_table, parallel_sweep};
 use netpack_metrics::TextTable;
 use netpack_model::{single_job_report, JobHierarchy, Placement};
 use netpack_packetsim::{run_hierarchy, HierarchySpec};
@@ -34,24 +36,14 @@ fn main() {
     let pat_of = |r: RackId| pats[r.0];
 
     let base = HierarchySpec::default();
-    let window_for = |rate: f64| {
-        let bits = rate * 1e9 * base.rtt_us * 1e-6;
-        (bits / (base.payload_bytes as f64 * 8.0)).round().max(1.0)
-    };
     let slots_for = |pat: f64| {
         let bits = pat * 1e9 * base.rtt_us * 1e-6;
         (bits / (base.payload_bytes as f64 * 8.0)).round().max(0.0) as usize
     };
 
     println!("Extension — Fig. 5 at packet granularity (model vs measured)\n");
-    let mut table = TextTable::new(vec![
-        "rate (Gbps)",
-        "FC model",
-        "FC packets",
-        "FS model",
-        "FS packets",
-    ]);
-    for rate in [5.0, 15.0, 25.0, 35.0, 45.0] {
+    let rates = [5.0, 15.0, 25.0, 35.0, 45.0];
+    let rows = parallel_sweep(&rates, |&rate| {
         let report = single_job_report(&cluster, &hierarchy, rate, pat_of);
         let spec = HierarchySpec {
             rack_workers: vec![2, 2, 2],
@@ -64,16 +56,25 @@ fn main() {
             ..base.clone()
         };
         let measured = run_hierarchy(&spec, 0.05);
-        let _ = window_for(rate);
-        table.row(vec![
+        vec![
             format!("{rate:.0}"),
             report.fc.to_string(),
             format!("{:.2}", measured.core_packets_per_group),
             report.fs.to_string(),
             format!("{:.2}", measured.ps_packets_per_group),
-        ]);
+        ]
+    });
+    let mut table = TextTable::new(vec![
+        "rate (Gbps)",
+        "FC model",
+        "FC packets",
+        "FS model",
+        "FS packets",
+    ]);
+    for row in rows {
+        table.row(row);
     }
-    println!("{table}");
+    emit_table("ext_fig5", &table);
     println!("the measured per-group packet counts track the closed-form flow counts;");
     println!("fractional values appear where a pool covers part of the window (the");
     println!("fluid model rounds these to the binary Table-1 regimes).");

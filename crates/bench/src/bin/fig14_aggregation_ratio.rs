@@ -5,61 +5,56 @@
 //! (b) Two identical jobs share a pool sized for one (100% PAT is for one
 //! job); each job's ratio should track `y = 0.5x`, evidencing max-min fair
 //! sharing of switch memory.
+//!
+//! Each (part, PAT-ratio) cell is an independent packet simulation, so
+//! the sweep fans out via [`parallel_sweep`]; set `NETPACK_PERF=1` to
+//! print the merged round-loop counters and `NETPACK_PKT=scratch` to run
+//! the reference per-packet loop (`scripts/check.sh` diffs the two).
 
-use netpack_metrics::TextTable;
-use netpack_packetsim::{PacketJobSpec, PacketSim, SwitchConfig};
-use netpack_topology::JobId;
+use netpack_bench::{emit_table, packet_stream_job, parallel_sweep, pat_ratio_config};
+use netpack_metrics::{PerfCounters, TextTable};
+use netpack_packetsim::PacketSim;
 
-fn job(id: u64) -> PacketJobSpec {
-    PacketJobSpec {
-        id: JobId(id),
-        fan_in: 2,
-        gradient_gbits: 0.5,
-        compute_time_s: 0.0,
-        iterations: 0,
-        start_s: 0.0,
-        target_gbps: Some(10.0),
-    }
-}
-
-fn config_for(pat_ratio: f64) -> SwitchConfig {
-    let base = SwitchConfig::default();
-    let window = base.rate_to_pkts(10.0);
-    SwitchConfig {
-        pool_slots: (pat_ratio * window as f64).round() as usize,
-        ..base
-    }
-}
+const XS: [f64; 10] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
 
 fn main() {
-    let xs = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+    // One cell per (part, PAT ratio): part 0 = Fig. 14a (one job, 0.05 s),
+    // part 1 = Fig. 14b (two jobs, 0.1 s).
+    let cells: Vec<(usize, f64)> = (0..2).flat_map(|p| XS.iter().map(move |&x| (p, x))).collect();
+    let results = parallel_sweep(&cells, |&(part, x)| {
+        let mut sim = PacketSim::new(pat_ratio_config(x, 10.0));
+        sim.add_job(packet_stream_job(0, 2, Some(10.0)));
+        if part == 1 {
+            sim.add_job(packet_stream_job(1, 2, Some(10.0)));
+        }
+        let report = sim.run(if part == 0 { 0.05 } else { 0.1 });
+        let ratios: Vec<f64> = report.per_job.iter().map(|s| s.aggregation_ratio()).collect();
+        (ratios, report.perf)
+    });
+
+    let mut perf = PerfCounters::new();
+    let mut it = results.iter();
 
     println!("Fig. 14a — single job: aggregation ratio vs PAT ratio (theory y = x)\n");
     let mut table = TextTable::new(vec!["PAT ratio", "measured", "theory"]);
-    for &x in &xs {
-        let mut sim = PacketSim::new(config_for(x));
-        sim.add_job(job(0));
-        let report = sim.run(0.05);
-        table.row_f64(format!("{x:.1}"), &[report.per_job[0].aggregation_ratio(), x]);
+    for &x in &XS {
+        let (ratios, cell_perf) = it.next().expect("one result per cell");
+        perf.merge(cell_perf);
+        table.row_f64(format!("{x:.1}"), &[ratios[0], x]);
     }
-    println!("{table}");
+    emit_table("fig14a", &table);
 
     println!("Fig. 14b — two jobs, pool sized for one: per-job ratio (theory y = 0.5x)\n");
     let mut table = TextTable::new(vec!["PAT ratio", "job 0", "job 1", "theory"]);
-    for &x in &xs {
-        let mut sim = PacketSim::new(config_for(x));
-        sim.add_job(job(0));
-        sim.add_job(job(1));
-        let report = sim.run(0.1);
-        table.row_f64(
-            format!("{x:.1}"),
-            &[
-                report.per_job[0].aggregation_ratio(),
-                report.per_job[1].aggregation_ratio(),
-                0.5 * x,
-            ],
-        );
+    for &x in &XS {
+        let (ratios, cell_perf) = it.next().expect("one result per cell");
+        perf.merge(cell_perf);
+        table.row_f64(format!("{x:.1}"), &[ratios[0], ratios[1], 0.5 * x]);
     }
-    println!("{table}");
+    emit_table("fig14b", &table);
     println!("paper: measured tracks theory with small deviation; jobs share memory fairly.");
+    if std::env::var("NETPACK_PERF").is_ok_and(|v| v != "0") {
+        println!("\nRound-loop perf counters (merged across all cells):");
+        println!("{}", perf.to_table());
+    }
 }

@@ -4,7 +4,11 @@
 //! each, PS in rack 1), ToR PATs `A1 < Ap < A3 < A4`; as the per-worker
 //! sending rate sweeps upward, `FC` (flows entering the PS rack) and `FS`
 //! (flows on the ToR→PS link) leap each time the rate crosses a PAT.
+//!
+//! The rate points are independent model evaluations, fanned out via
+//! [`parallel_sweep`].
 
+use netpack_bench::{emit_table, parallel_sweep};
 use netpack_metrics::TextTable;
 use netpack_model::{single_job_report, JobHierarchy, Placement};
 use netpack_topology::{Cluster, ClusterSpec, RackId, ServerId};
@@ -36,17 +40,23 @@ fn main() {
 
     println!("Fig. 5b — number of flows vs per-worker sending rate");
     println!("topology: 4 racks x 2 workers, PS in rack 1; A1=10 < Ap=20 < A3=30 < A4=40 Gbps\n");
-    let mut table = TextTable::new(vec!["rate (Gbps)", "FC", "FS", "agg@root (Gbps)"]);
-    for rate in [2.0, 5.0, 8.0, 12.0, 15.0, 18.0, 22.0, 25.0, 28.0, 32.0, 35.0, 38.0, 42.0, 45.0] {
+    let rates = [
+        2.0, 5.0, 8.0, 12.0, 15.0, 18.0, 22.0, 25.0, 28.0, 32.0, 35.0, 38.0, 42.0, 45.0,
+    ];
+    let rows = parallel_sweep(&rates, |&rate| {
         let report = single_job_report(&cluster, &hierarchy, rate, pats);
-        table.row(vec![
+        vec![
             format!("{rate:.0}"),
             report.fc.to_string(),
             report.fs.to_string(),
             format!("{:.1}", report.switch_aggregated.last().unwrap().1),
-        ]);
+        ]
+    });
+    let mut table = TextTable::new(vec!["rate (Gbps)", "FC", "FS", "agg@root (Gbps)"]);
+    for row in rows {
+        table.row(row);
     }
-    println!("{table}");
+    emit_table("fig5", &table);
     println!("paper series: FC leaps 3→4→5→6 and FS leaps 1→6→7→8 as C crosses each PAT;");
     println!("(FS jumps when C exceeds Ap; paper reports the same endpoints FC=6, FS=8).");
 }

@@ -5,8 +5,10 @@
 //! and reports a 98% linear correlation between the two normalized JCTs.
 //! Our testbed stand-in is the packet-level statistical-INA simulator: we
 //! run a set of concurrent-job scenarios through both models and fit the
-//! same regression.
+//! same regression. Each scenario is an independent cell fanned out via
+//! [`parallel_sweep`].
 
+use netpack_bench::{emit_table, parallel_sweep};
 use netpack_metrics::{linear_fit, TextTable};
 use netpack_packetsim::{PacketJobSpec, PacketSim, SwitchConfig};
 use netpack_placement::{NetPackPlacer, Placer};
@@ -33,78 +35,80 @@ fn scenarios() -> Vec<Scenario> {
     ]
 }
 
+/// One scenario through both models: `(fluid JCT, packet JCT)`; the
+/// packet side is `None` when the placement came out all-local (nothing
+/// for the packet simulator to validate).
+fn run_scenario(spec: &ClusterSpec, sc: &Scenario) -> (f64, Option<f64>) {
+    // ---- flow-level side: place with NetPack and replay. ----
+    let jobs: Vec<Job> = sc
+        .jobs
+        .iter()
+        .enumerate()
+        .map(|(i, &(model, gpus, iters))| {
+            Job::builder(JobId(i as u64), model, gpus)
+                .iterations(iters)
+                .build()
+        })
+        .collect();
+    let trace = Trace::from_jobs(jobs.clone());
+    let result = netpack_flowsim::Simulation::new(
+        Cluster::new(spec.clone()),
+        Box::new(NetPackPlacer::default()),
+        netpack_flowsim::SimConfig::default(),
+    )
+    .run(&trace);
+    let fluid_jct = result.average_jct_s().expect("scenario finished");
+
+    // ---- packet-level side: same jobs behind one switch. ----
+    // fan_in mirrors the flow-level placement's spanning width: every
+    // worker streams into the ToR when the job crosses servers.
+    let mut placer = NetPackPlacer::default();
+    let outcome = placer.place_batch(&Cluster::new(spec.clone()), &[], &jobs);
+    let mut sim = PacketSim::new(SwitchConfig {
+        pool_slots: {
+            let c = SwitchConfig::default();
+            (spec.pat_gbps * 1e9 * c.rtt_us * 1e-6 / (c.payload_bytes as f64 * 8.0)) as usize
+        },
+        ..SwitchConfig::default()
+    });
+    for (job, placement) in &outcome.placed {
+        let fan_in = if placement.is_local() { 0 } else { job.gpus };
+        if fan_in == 0 {
+            continue;
+        }
+        sim.add_job(PacketJobSpec {
+            id: job.id,
+            fan_in,
+            gradient_gbits: job.gradient_gbits(),
+            compute_time_s: job.compute_time_s(),
+            iterations: job.iterations,
+            start_s: 0.0,
+            target_gbps: None,
+        });
+    }
+    let report = sim.run(600.0);
+    let finishes: Vec<f64> = report.per_job.iter().filter_map(|s| s.finish_s).collect();
+    let packet_jct =
+        (!finishes.is_empty()).then(|| finishes.iter().sum::<f64>() / finishes.len() as f64);
+    (fluid_jct, packet_jct)
+}
+
 fn main() {
     let spec = ClusterSpec {
         pat_gbps: 200.0,
         ..ClusterSpec::paper_testbed()
     };
     println!("Fig. 6 — normalized JCT: packet-level testbed stand-in vs flow simulator\n");
+    let scs = scenarios();
+    let results = parallel_sweep(&scs, |sc| run_scenario(&spec, sc));
+
     let mut fluid = Vec::new();
     let mut packet = Vec::new();
     let mut table = TextTable::new(vec!["scenario", "flow-sim JCT (s)", "packet-sim JCT (s)"]);
-    for sc in scenarios() {
-        // ---- flow-level side: place with NetPack and replay. ----
-        let jobs: Vec<Job> = sc
-            .jobs
-            .iter()
-            .enumerate()
-            .map(|(i, &(model, gpus, iters))| {
-                Job::builder(JobId(i as u64), model, gpus)
-                    .iterations(iters)
-                    .build()
-            })
-            .collect();
-        let trace = Trace::from_jobs(jobs.clone());
-        let result = netpack_flowsim::Simulation::new(
-            Cluster::new(spec.clone()),
-            Box::new(NetPackPlacer::default()),
-            netpack_flowsim::SimConfig::default(),
-        )
-        .run(&trace);
-        let fluid_jct = result.average_jct_s().expect("scenario finished");
-
-        // ---- packet-level side: same jobs behind one switch. ----
-        // fan_in mirrors the flow-level placement's spanning width: every
-        // worker streams into the ToR when the job crosses servers.
-        let mut placer = NetPackPlacer::default();
-        let outcome = placer.place_batch(&Cluster::new(spec.clone()), &[], &jobs);
-        let mut sim = PacketSim::new(SwitchConfig {
-            pool_slots: {
-                let c = SwitchConfig::default();
-                (spec.pat_gbps * 1e9 * c.rtt_us * 1e-6 / (c.payload_bytes as f64 * 8.0)) as usize
-            },
-            ..SwitchConfig::default()
-        });
-        for (job, placement) in &outcome.placed {
-            let fan_in = if placement.is_local() {
-                0
-            } else {
-                job.gpus
-            };
-            if fan_in == 0 {
-                continue;
-            }
-            sim.add_job(PacketJobSpec {
-                id: job.id,
-                fan_in,
-                gradient_gbits: job.gradient_gbits(),
-                compute_time_s: job.compute_time_s(),
-                iterations: job.iterations,
-                start_s: 0.0,
-                target_gbps: None,
-            });
-        }
-        let report = sim.run(600.0);
-        let finishes: Vec<f64> = report
-            .per_job
-            .iter()
-            .filter_map(|s| s.finish_s)
-            .collect();
-        if finishes.is_empty() {
+    for (sc, &(fluid_jct, packet_jct)) in scs.iter().zip(&results) {
+        let Some(packet_jct) = packet_jct else {
             continue; // all-local scenario: nothing to validate
-        }
-        let packet_jct = finishes.iter().sum::<f64>() / finishes.len() as f64;
-
+        };
         table.row(vec![
             sc.name.to_string(),
             format!("{fluid_jct:.1}"),
@@ -113,7 +117,7 @@ fn main() {
         fluid.push(fluid_jct);
         packet.push(packet_jct);
     }
-    println!("{table}");
+    emit_table("fig6", &table);
 
     // Normalize both to their own means, as the paper's plot does.
     let norm = |v: &[f64]| {

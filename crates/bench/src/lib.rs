@@ -31,12 +31,13 @@
 //! `NETPACK_QUICK=1` (smaller clusters/traces for smoke runs).
 
 use netpack_flowsim::{SimConfig, Simulation};
-use netpack_metrics::Summary;
+use netpack_metrics::{Summary, TextTable};
+use netpack_packetsim::{PacketJobSpec, SwitchConfig};
 use netpack_placement::{
     Comb, FlowBalance, GpuBalance, LeastFragmentation, NetPackPlacer, OptimusLike, Placer,
     TetrisLike,
 };
-use netpack_topology::{Cluster, ClusterSpec};
+use netpack_topology::{Cluster, ClusterSpec, JobId};
 use netpack_workload::{TraceKind, TraceSpec};
 
 /// Number of repetitions (distinct trace seeds) per data point.
@@ -204,25 +205,79 @@ pub struct ReplayPoint {
     pub de: Summary,
 }
 
+/// Replay one seeded trace for one placer name on one cluster spec — the
+/// unit cell the figure sweeps fan out over [`parallel_sweep`].
+pub fn replay_cell(
+    name: &str,
+    spec: &ClusterSpec,
+    kind: TraceKind,
+    jobs: usize,
+    seed: u64,
+) -> netpack_flowsim::SimResult {
+    let trace = loaded_trace(kind, spec, jobs, seed);
+    Simulation::new(
+        Cluster::new(spec.clone()),
+        placer_by_name(name),
+        SimConfig::default(),
+    )
+    .run(&trace)
+}
+
 /// Replay `repeats()` seeded traces for one placer name on one cluster
 /// spec, returning JCT/DE summaries.
 pub fn replay(name: &str, spec: &ClusterSpec, kind: TraceKind, jobs: usize) -> ReplayPoint {
     let mut jcts = Vec::new();
     let mut des = Vec::new();
     for rep in 0..repeats() {
-        let trace = loaded_trace(kind, spec, jobs, 1000 + rep as u64);
-        let sim = Simulation::new(
-            Cluster::new(spec.clone()),
-            placer_by_name(name),
-            SimConfig::default(),
-        );
-        let result = sim.run(&trace);
+        let result = replay_cell(name, spec, kind, jobs, 1000 + rep as u64);
         jcts.push(result.average_jct_s().expect("jobs finished"));
         des.push(result.distribution_efficiency().expect("jobs finished"));
     }
     ReplayPoint {
         jct: Summary::of(&jcts),
         de: Summary::of(&des),
+    }
+}
+
+/// The packet microbenchmarks' standard continuously-streaming job: 0.5 Gb
+/// gradients, no compute phase, unbounded iterations, immediate start
+/// (the Fig. 2/14 workload).
+pub fn packet_stream_job(id: u64, fan_in: usize, target_gbps: Option<f64>) -> PacketJobSpec {
+    PacketJobSpec {
+        id: JobId(id),
+        fan_in,
+        gradient_gbits: 0.5,
+        compute_time_s: 0.0,
+        iterations: 0,
+        start_s: 0.0,
+        target_gbps,
+    }
+}
+
+/// The Fig. 14 switch configuration: an aggregator pool sized to
+/// `pat_ratio` times the window of a job pacing at `rate_gbps` — so the
+/// pool's PAT is that fraction of one job's offered rate.
+pub fn pat_ratio_config(pat_ratio: f64, rate_gbps: f64) -> SwitchConfig {
+    let base = SwitchConfig::default();
+    let window = base.rate_to_pkts(rate_gbps);
+    SwitchConfig {
+        pool_slots: (pat_ratio * window as f64).round() as usize,
+        ..base
+    }
+}
+
+/// Print a table to stdout and, when `NETPACK_CSV_DIR` is set, also write
+/// it to `$NETPACK_CSV_DIR/<name>.csv` — the shared emission path of the
+/// figure binaries (the `scripts/check.sh` two-mode gate diffs the CSVs).
+pub fn emit_table(name: &str, table: &TextTable) {
+    println!("{table}");
+    if let Ok(dir) = std::env::var("NETPACK_CSV_DIR") {
+        if !dir.is_empty() {
+            let path = std::path::Path::new(&dir).join(format!("{name}.csv"));
+            table
+                .write_csv(&path)
+                .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        }
     }
 }
 

@@ -23,6 +23,12 @@
 //! "one window away") is also implemented for the Fig. 2 motivation
 //! comparison.
 //!
+//! The round loop has a fast path (interval-overlap collision counting
+//! plus steady-state round batching) selected by [`PacketPath`] /
+//! `NETPACK_PKT`; see the [`sim`](self) module docs and DESIGN.md §3.8.
+//! Both paths produce bit-identical [`PacketSimReport`]s, and the
+//! report's `perf` block records how much work each path actually did.
+//!
 //! # Example
 //!
 //! ```
@@ -50,5 +56,5 @@ mod sim;
 mod stats;
 
 pub use hierarchy::{run_hierarchy, slots_to_pat_gbps, HierarchyReport, HierarchySpec};
-pub use sim::{Addressing, MemoryMode, PacketJobSpec, PacketSim, SwitchConfig};
+pub use sim::{Addressing, MemoryMode, PacketJobSpec, PacketPath, PacketSim, SwitchConfig};
 pub use stats::{JobStats, PacketSimReport};

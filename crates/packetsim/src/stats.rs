@@ -1,5 +1,6 @@
 //! Per-job statistics collected by the packet simulator.
 
+use netpack_metrics::PerfCounters;
 use netpack_topology::JobId;
 
 /// Statistics of one job over a packet-simulation run.
@@ -43,7 +44,7 @@ impl JobStats {
 }
 
 /// The result of one packet-simulation run.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct PacketSimReport {
     /// Per-job statistics, in registration order.
     pub per_job: Vec<JobStats>,
@@ -51,6 +52,21 @@ pub struct PacketSimReport {
     pub rounds: u64,
     /// Simulated duration in seconds.
     pub duration_s: f64,
+    /// Work counters and wall-clock timers for the run: rounds simulated
+    /// vs. stepped vs. batched, packets modeled vs. actually touched by
+    /// the per-packet loop, and the `run` timer.
+    pub perf: PerfCounters,
+}
+
+/// Equality covers the simulation *outputs* only — `perf` holds
+/// wall-clock timers and work counters that legitimately differ between
+/// the fast and scratch paths producing the same result.
+impl PartialEq for PacketSimReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.per_job == other.per_job
+            && self.rounds == other.rounds
+            && self.duration_s == other.duration_s
+    }
 }
 
 impl PacketSimReport {

@@ -1,6 +1,8 @@
 //! Property tests for the packet-level simulator's conservation laws.
 
-use netpack_packetsim::{Addressing, MemoryMode, PacketJobSpec, PacketSim, SwitchConfig};
+use netpack_packetsim::{
+    Addressing, MemoryMode, PacketJobSpec, PacketPath, PacketSim, SwitchConfig,
+};
 use netpack_topology::JobId;
 use proptest::prelude::*;
 
@@ -113,5 +115,66 @@ proptest! {
             total_aggregated <= pool as u64 * report.rounds,
             "aggregated {total_aggregated} exceeds pool x rounds"
         );
+    }
+}
+
+/// Richer job mix for the cross-path pin: bounded iterations, staggered
+/// starts, and pacing rates that land under, at, and over the link rate
+/// (120 Gbps > the 100 Gbps link exercises the BDP window cap).
+fn arb_rich_jobs() -> impl Strategy<Value = Vec<PacketJobSpec>> {
+    proptest::collection::vec(
+        (1usize..5, 1u32..40, 0u32..4, 0u32..4, 0u32..30, 0usize..4),
+        1..5,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(
+                |(i, (fan_in, grad_dmb, compute_ms, iterations, start_ms, rate_pick))| {
+                    PacketJobSpec {
+                        id: JobId(i as u64),
+                        fan_in,
+                        gradient_gbits: grad_dmb as f64 / 100.0,
+                        compute_time_s: compute_ms as f64 * 1e-3,
+                        iterations: iterations as u64,
+                        start_s: start_ms as f64 * 1e-3,
+                        target_gbps: [None, Some(10.0), Some(25.0), Some(120.0)][rate_pick],
+                    }
+                },
+            )
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The fast path (interval collision counting + round batching) is
+    /// bit-identical to the literal per-packet scratch loop across random
+    /// pools, fan-ins, rate caps, iteration counts, and staggered starts —
+    /// the packetsim analogue of flowsim's incremental-vs-scratch pin.
+    #[test]
+    fn fast_path_is_bit_identical_to_scratch(
+        (config, jobs) in (arb_config(), arb_rich_jobs())
+    ) {
+        let run = |path| {
+            let mut sim = PacketSim::new(SwitchConfig { path, ..config.clone() });
+            for j in &jobs {
+                sim.add_job(j.clone());
+            }
+            sim.run(0.03)
+        };
+        let fast = run(PacketPath::Fast);
+        let scratch = run(PacketPath::Scratch);
+        prop_assert_eq!(&fast, &scratch, "NETPACK_PKT=fast diverged from scratch");
+        for (f, s) in fast.per_job.iter().zip(&scratch.per_job) {
+            // PartialEq on the report already covers these, but compare the
+            // float fields for *bit* equality, not just numeric equality.
+            prop_assert_eq!(f.goodput_bits.to_bits(), s.goodput_bits.to_bits());
+            prop_assert_eq!(f.goodput_series.len(), s.goodput_series.len());
+            for (a, b) in f.goodput_series.iter().zip(&s.goodput_series) {
+                prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
+            }
+        }
     }
 }

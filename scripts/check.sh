@@ -31,4 +31,21 @@ if ! diff <(printf '%s\n' "$smoke_inc") <(printf '%s\n' "$smoke_scr"); then
 fi
 printf '%s\n' "$smoke_inc"
 
+echo "==> fig14 smoke: fast vs scratch packet path must match (stdout + CSV)"
+pkt_dir=$(mktemp -d)
+trap 'rm -rf "$pkt_dir"' EXIT
+pkt_fast=$(NETPACK_PKT=fast NETPACK_CSV_DIR="$pkt_dir/fast" \
+    ./target/release/fig14_aggregation_ratio)
+pkt_scr=$(NETPACK_PKT=scratch NETPACK_CSV_DIR="$pkt_dir/scratch" \
+    ./target/release/fig14_aggregation_ratio)
+if ! diff <(printf '%s\n' "$pkt_fast") <(printf '%s\n' "$pkt_scr"); then
+    echo "check.sh: fig14 smoke DIVERGED between NETPACK_PKT modes (stdout)" >&2
+    exit 1
+fi
+if ! diff -r "$pkt_dir/fast" "$pkt_dir/scratch"; then
+    echo "check.sh: fig14 smoke DIVERGED between NETPACK_PKT modes (CSV)" >&2
+    exit 1
+fi
+printf '%s\n' "$pkt_fast"
+
 echo "check.sh: all green"
