@@ -18,7 +18,7 @@ use netpack_metrics::TextTable;
 use netpack_placement::{NetPackConfig, NetPackPlacer, Placer, ScoringMode};
 use netpack_topology::{Cluster, ClusterSpec, JobId};
 use netpack_workload::{Job, ModelKind};
-use std::time::Instant;
+use netpack_metrics::Stopwatch;
 
 fn batch(jobs: usize, max_gpus: usize, seed: u64) -> Vec<Job> {
     // Deterministic mixed batch of spanning jobs.
@@ -86,7 +86,7 @@ fn main() {
                     scoring: mode,
                     ..NetPackConfig::default()
                 });
-                let start = Instant::now();
+                let start = Stopwatch::start();
                 let outcome = placer.place_batch(&cluster, &[], &b);
                 let elapsed = start.elapsed().as_secs_f64();
                 let placed = outcome.placed.len().max(1);

@@ -10,7 +10,7 @@ use netpack_metrics::TextTable;
 use netpack_placement::{batch_comm_time_s, ExactPlacer, NetPackPlacer, Placer};
 use netpack_topology::{Cluster, ClusterSpec, JobId};
 use netpack_workload::{Job, ModelKind};
-use std::time::Instant;
+use netpack_metrics::Stopwatch;
 
 fn main() {
     println!("§5.1 — exact search vs NetPack DP (objective: total comm time per iteration)\n");
@@ -48,13 +48,13 @@ fn main() {
             .collect();
 
         let mut exact = ExactPlacer::new(50_000_000);
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let exact_outcome = exact.place_batch(&cluster, &[], &batch);
         let exact_time = t0.elapsed().as_secs_f64();
         let exact_obj = batch_comm_time_s(&cluster, &[], &exact_outcome.placed);
 
         let mut dp = NetPackPlacer::default();
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let dp_outcome = dp.place_batch(&cluster, &[], &batch);
         let dp_time = t0.elapsed().as_secs_f64();
         let dp_obj = batch_comm_time_s(&cluster, &[], &dp_outcome.placed);

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Shared scaffolding for the figure-regeneration binaries.
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Library half of the NetPack CLI: argument parsing and command
 //! execution, kept separate from `main.rs` so every path is unit-testable.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! The NetPack job manager — the control loop of Fig. 4.
 //!

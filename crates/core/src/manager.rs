@@ -5,7 +5,7 @@ use netpack_placement::{Placer, RunningJob};
 use netpack_topology::{Cluster, JobId, TopologyError};
 use netpack_waterfill::{estimate, IncrementalEstimator, PlacedJob, SteadyState, WaterfillStats};
 use netpack_workload::Job;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -80,7 +80,7 @@ pub struct JobManager {
     pending: Vec<Job>,
     running: Vec<(Job, Placement)>,
     /// Id → position in `running` for O(1) [`finish`](Self::finish) lookup.
-    index: HashMap<JobId, usize>,
+    index: BTreeMap<JobId, usize>,
     /// Warm incremental estimator, lazily created by the first
     /// [`steady_state_incremental`](Self::steady_state_incremental) call.
     /// Its insertion order always mirrors `running` — the bit-identity
@@ -109,7 +109,7 @@ impl JobManager {
             config,
             pending: Vec::new(),
             running: Vec::new(),
-            index: HashMap::new(),
+            index: BTreeMap::new(),
             tracker: None,
             tracker_ops: Vec::new(),
         }
@@ -157,7 +157,13 @@ impl JobManager {
         if self.pending.is_empty() {
             return Vec::new();
         }
-        let batch = std::mem::take(&mut self.pending);
+        let mut batch = std::mem::take(&mut self.pending);
+        // Canonical batch order: value-descending, ties by id. The placers
+        // are free to reorder internally, but hand them a submission-order-
+        // independent batch so a shuffled submit sequence cannot leak into
+        // tie-breaks (the knapsack subset selection is order-sensitive
+        // under exact value ties).
+        batch.sort_by(|a, b| b.value.total_cmp(&a.value).then(a.id.cmp(&b.id)));
         let running_view: Vec<RunningJob> = self
             .running
             .iter()
@@ -418,6 +424,27 @@ mod tests {
         let stats = m.waterfill_stats().unwrap();
         assert_eq!(stats.removes, 1);
         assert!(stats.pushes >= 1);
+    }
+
+    #[test]
+    fn epoch_batch_order_is_submission_order_independent() {
+        // Equal-value jobs are the tie-break stress case: without the
+        // canonical batch sort, knapsack subset selection could pick a
+        // different subset per submission order.
+        let sizes = [4usize, 2, 8, 2, 4, 8];
+        let run = |order: &[usize]| {
+            let mut m = manager(Box::new(NetPackPlacer::default()));
+            for &i in order {
+                m.submit(job(i as u64, sizes[i]));
+            }
+            let mut placed = m.run_epoch();
+            placed.sort_by_key(|(j, _)| j.id);
+            placed
+        };
+        let reference = run(&[0, 1, 2, 3, 4, 5]);
+        for order in [[5usize, 4, 3, 2, 1, 0], [2, 5, 0, 3, 1, 4]] {
+            assert_eq!(run(&order), reference, "order {order:?}");
+        }
     }
 
     #[test]

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Discrete-event flow-level cluster simulator — the paper's evaluation
 //! vehicle (§6.1 "Simulator").

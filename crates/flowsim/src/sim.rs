@@ -36,8 +36,8 @@ use netpack_topology::{Cluster, JobId, LinkId};
 use netpack_waterfill::SteadyState;
 use netpack_workload::{Job, Trace};
 use std::cmp::{Ordering, Reverse};
-use std::collections::{BinaryHeap, HashMap};
-use std::time::Instant;
+use std::collections::{BTreeMap, BinaryHeap};
+use netpack_metrics::Stopwatch;
 
 /// Which INA memory-multiplexing mode the cluster's switches run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -269,7 +269,7 @@ impl Simulation {
             .cloned()
             .collect();
 
-        let mut running: HashMap<JobId, Progress> = HashMap::new();
+        let mut running: BTreeMap<JobId, Progress> = BTreeMap::new();
         let mut heap: BinaryHeap<Reverse<Completion>> = BinaryHeap::new();
         let mut used_gpus: usize = 0;
         let mut clock = 0.0f64;
@@ -280,7 +280,7 @@ impl Simulation {
         let mut next_telemetry = 0.0f64;
 
         loop {
-            let event_start = Instant::now();
+            let event_start = Stopwatch::start();
             perf.incr("sim_events", 1);
 
             // -------- determine the next event time --------
@@ -290,7 +290,7 @@ impl Simulation {
             } else {
                 Some(next_epoch_after(clock, last_epoch_run, epoch))
             };
-            let heap_start = Instant::now();
+            let heap_start = Stopwatch::start();
             let next_completion = loop {
                 match heap.peek() {
                     None => break f64::INFINITY,
@@ -355,7 +355,7 @@ impl Simulation {
             }
 
             // -------- completions --------
-            let heap_start = Instant::now();
+            let heap_start = Stopwatch::start();
             while let Some(&Reverse(c)) = heap.peek() {
                 let live = running
                     .get(&c.id)
@@ -410,7 +410,7 @@ impl Simulation {
             // -------- rate recomputation --------
             if rates_dirty || !state_ready {
                 if use_incremental {
-                    let solve_start = Instant::now();
+                    let solve_start = Stopwatch::start();
                     let _ = manager.steady_state_incremental();
                     perf.record("resolve_component", solve_start.elapsed());
                 } else {
@@ -615,6 +615,46 @@ mod tests {
             assert!(result.average_jct_s().unwrap() > 0.0);
             let de = result.distribution_efficiency().unwrap();
             assert!(de > 0.0 && de <= 1.0 + 1e-9, "de {de}");
+        }
+    }
+
+    #[test]
+    fn shuffled_insertion_order_yields_identical_result() {
+        // Same-arrival jobs with identical values are the adversarial
+        // case: the stable arrival sort preserves insertion order, so
+        // only the manager's canonical batch ordering keeps knapsack
+        // tie-breaks submission-order independent.
+        let mk = |id: u64, model: ModelKind, gpus: usize| {
+            Job::builder(JobId(id), model, gpus).iterations(200).build()
+        };
+        let jobs = [
+            mk(0, ModelKind::Vgg16, 4),
+            mk(1, ModelKind::ResNet50, 4),
+            mk(2, ModelKind::AlexNet, 8),
+            mk(3, ModelKind::Vgg16, 2),
+            mk(4, ModelKind::ResNet50, 8),
+            mk(5, ModelKind::AlexNet, 4),
+            mk(6, ModelKind::Vgg16, 8),
+            mk(7, ModelKind::ResNet50, 2),
+        ];
+        let run = |order: &[usize]| {
+            let shuffled: Vec<Job> = order.iter().map(|&i| jobs[i].clone()).collect();
+            let sim =
+                Simulation::new(cluster(), Box::new(NetPackPlacer::default()), quick_config());
+            sim.run(&Trace::from_jobs(shuffled))
+        };
+        let reference = run(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        // A seeded Fisher-Yates permutation plus a plain reversal.
+        for order in [
+            [7usize, 6, 5, 4, 3, 2, 1, 0],
+            [3, 0, 6, 2, 7, 5, 1, 4],
+            [5, 2, 7, 0, 4, 6, 3, 1],
+        ] {
+            let shuffled = run(&order);
+            assert_eq!(
+                shuffled, reference,
+                "SimResult must not depend on job insertion order ({order:?})"
+            );
         }
     }
 

@@ -1,0 +1,100 @@
+//! The committed findings baseline.
+//!
+//! Grandfathered findings live in `lint-baseline.txt` at the workspace
+//! root as `RULE path count` lines. Counts (rather than line numbers)
+//! keep the file stable under unrelated edits that move code around: a
+//! file is only flagged when its per-rule finding count *exceeds* the
+//! recorded count. Shrinking a count below the baseline is rewarded the
+//! next time someone runs `--update-baseline`, which rewrites the file
+//! from the current tree.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// `(rule, path) → allowed finding count`.
+pub type Baseline = BTreeMap<(String, String), usize>;
+
+/// Parse a baseline file. A missing file is an empty baseline.
+pub fn load(path: &Path) -> io::Result<Baseline> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Baseline::new()),
+        Err(e) => return Err(e),
+    };
+    let mut baseline = Baseline::new();
+    for (n, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (rule, file, count) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(r), Some(f), Some(c)) => (r, f, c),
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}:{}: expected `RULE path count`", path.display(), n + 1),
+                ))
+            }
+        };
+        let count: usize = count.parse().map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}:{}: bad count `{count}`", path.display(), n + 1),
+            )
+        })?;
+        baseline.insert((rule.to_string(), file.to_string()), count);
+    }
+    Ok(baseline)
+}
+
+/// Serialize `counts` in the committed format (sorted, commented header).
+pub fn render(counts: &Baseline) -> String {
+    let mut out = String::from(
+        "# netpack-lint baseline: grandfathered findings as `RULE path count`.\n\
+         # Regenerate with `cargo run -p netpack-lint -- --update-baseline`.\n\
+         # New findings (counts above these) fail scripts/check.sh.\n",
+    );
+    for ((rule, file), count) in counts {
+        out.push_str(&format!("{rule} {file} {count}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_through_render_and_load() {
+        let mut b = Baseline::new();
+        b.insert(("E1".into(), "crates/topology/src/cluster.rs".into()), 4);
+        b.insert(("E1".into(), "crates/model/src/ring.rs".into()), 2);
+        let rendered = render(&b);
+        let dir = std::env::temp_dir().join("netpack-lint-baseline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.txt");
+        std::fs::write(&path, &rendered).unwrap();
+        assert_eq!(load(&path).unwrap(), b);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let path = Path::new("/nonexistent/netpack-lint-baseline");
+        assert!(load(path).unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        let dir = std::env::temp_dir().join("netpack-lint-baseline-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.txt");
+        std::fs::write(&path, "E1 only-two-fields\n").unwrap();
+        assert!(load(&path).is_err());
+        std::fs::write(&path, "E1 file not-a-number\n").unwrap();
+        assert!(load(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

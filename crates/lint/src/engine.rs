@@ -1,0 +1,366 @@
+//! File analysis and workspace walking: test-region detection,
+//! suppression pragmas, and the baseline-aware report.
+
+use crate::baseline::{self, Baseline};
+use crate::lexer::{self, Line};
+use crate::rules::{self, Finding, FileContext, RULES};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A parsed `// netpack-lint: allow(<rule>): <reason>` pragma.
+#[derive(Debug, Clone)]
+struct Pragma {
+    rule: String,
+    /// `Err(message)` when the pragma is malformed (missing reason,
+    /// unknown rule) — reported as a finding of rule `pragma`.
+    problem: Option<String>,
+}
+
+/// Parse the pragma in a comment, if any. Doc comments (`///`, `//!`)
+/// never carry pragmas — they *describe* the syntax without invoking it.
+fn parse_pragma(comment: &str) -> Option<Pragma> {
+    if comment.starts_with('/') || comment.starts_with('!') {
+        return None;
+    }
+    let rest = comment.split("netpack-lint:").nth(1)?.trim_start();
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return Some(Pragma {
+            rule: String::new(),
+            problem: Some("expected `allow(<rule>)` after `netpack-lint:`".to_string()),
+        });
+    };
+    let Some(close) = rest.find(')') else {
+        return Some(Pragma {
+            rule: String::new(),
+            problem: Some("unclosed `allow(`".to_string()),
+        });
+    };
+    let rule = rest[..close].trim().to_string();
+    if !RULES.contains(&rule.as_str()) {
+        return Some(Pragma {
+            problem: Some(format!("unknown rule `{rule}`")),
+            rule,
+        });
+    }
+    let reason = rest[close + 1..]
+        .trim_start()
+        .trim_start_matches([':', '-', '—'])
+        .trim();
+    if reason.is_empty() {
+        return Some(Pragma {
+            problem: Some(format!(
+                "suppression of {rule} needs a reason: `// netpack-lint: allow({rule}): <why>`"
+            )),
+            rule,
+        });
+    }
+    Some(Pragma { rule, problem: None })
+}
+
+/// Mark every line covered by a `#[cfg(test)]` or `#[test]` item.
+///
+/// From each attribute, the item's extent is the first balanced `{…}`
+/// block (or a plain `;` for declarations) that follows — matched on
+/// blanked code, so braces in strings or comments can't derail it.
+fn test_mask(lines: &[Line]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    for start in 0..lines.len() {
+        let code = &lines[start].code;
+        let attr = ["#[cfg(test)]", "#[cfg(all(test", "#[test]"]
+            .iter()
+            .filter_map(|a| code.find(a).map(|p| p + a.len()))
+            .min();
+        let Some(after_attr) = attr else { continue };
+        let mut depth = 0i32;
+        let mut entered = false;
+        'scan: for idx in start..lines.len() {
+            let code = &lines[idx].code;
+            let from = if idx == start { after_attr } else { 0 };
+            for c in code[from.min(code.len())..].chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        entered = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if entered && depth == 0 {
+                            for m in &mut mask[start..=idx] {
+                                *m = true;
+                            }
+                            break 'scan;
+                        }
+                    }
+                    ';' if !entered => {
+                        for m in &mut mask[start..=idx] {
+                            *m = true;
+                        }
+                        break 'scan;
+                    }
+                    _ => {}
+                }
+            }
+            if idx + 1 == lines.len() {
+                // Unterminated item (fixture snippets): mark to EOF.
+                for m in &mut mask[start..] {
+                    *m = true;
+                }
+            }
+        }
+    }
+    mask
+}
+
+/// Crate name for a workspace-relative path (`crates/<name>/src/…`).
+fn crate_of(rel_path: &str) -> &str {
+    let rel = rel_path.trim_start_matches("./");
+    let mut parts = rel.split('/');
+    if parts.next() == Some("crates") {
+        if let Some(name) = parts.next() {
+            if parts.next() == Some("src") {
+                return name;
+            }
+        }
+    }
+    ""
+}
+
+/// Outcome of analyzing one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Findings that survived pragma suppression (baseline not applied).
+    pub findings: Vec<Finding>,
+    /// Number of findings silenced by a valid pragma.
+    pub suppressed: usize,
+}
+
+/// Analyze one file's source. `rel_path` is workspace-relative and drives
+/// crate attribution (`crates/<name>/src/…`) and path-based exemptions.
+pub fn analyze_source(rel_path: &str, source: &str) -> FileReport {
+    let lines = lexer::scan(source);
+    let is_test = test_mask(&lines);
+    let ctx = FileContext {
+        path: rel_path,
+        crate_name: crate_of(rel_path),
+        lines: &lines,
+        is_test: &is_test,
+    };
+    let raw = rules::check_file(&ctx);
+
+    // Valid pragmas allow (line, rule); a comment-only pragma line also
+    // covers the next line. Malformed pragmas become findings themselves.
+    let mut allowed: BTreeMap<(usize, String), ()> = BTreeMap::new();
+    let mut report = FileReport::default();
+    for (idx, line) in lines.iter().enumerate() {
+        let Some(pragma) = parse_pragma(&line.comment) else {
+            continue;
+        };
+        if let Some(problem) = pragma.problem {
+            report.findings.push(Finding {
+                rule: "pragma",
+                path: rel_path.to_string(),
+                line: idx + 1,
+                message: problem,
+            });
+            continue;
+        }
+        allowed.insert((idx + 1, pragma.rule.clone()), ());
+        if line.is_comment_only() {
+            allowed.insert((idx + 2, pragma.rule), ());
+        }
+    }
+    for f in raw {
+        if allowed.contains_key(&(f.line, f.rule.to_string())) {
+            report.suppressed += 1;
+        } else {
+            report.findings.push(f);
+        }
+    }
+    report
+}
+
+/// Recursively collect `.rs` files under `root`, skipping build output,
+/// vendored code, and test trees (test code is exempt from every rule, and
+/// the lint's own fixtures contain violations on purpose).
+fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    const SKIP_DIRS: [&str; 6] = ["target", "vendor", ".git", "tests", "benches", ".github"];
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .map(|e| e.map(|e| e.path()))
+            .collect::<io::Result<_>>()?;
+        entries.sort();
+        for path in entries {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// A full workspace run, before baseline comparison.
+#[derive(Debug, Default)]
+pub struct RunReport {
+    /// Surviving findings across all files, in path order.
+    pub findings: Vec<Finding>,
+    /// Total pragma-suppressed findings.
+    pub suppressed: usize,
+    /// Files analyzed.
+    pub files: usize,
+}
+
+impl RunReport {
+    /// Finding counts keyed like the baseline file.
+    pub fn counts(&self) -> Baseline {
+        let mut counts = Baseline::new();
+        for f in &self.findings {
+            *counts
+                .entry((f.rule.to_string(), f.path.clone()))
+                .or_insert(0) += 1;
+        }
+        counts
+    }
+}
+
+/// Analyze every eligible file under `root`.
+pub fn run_root(root: &Path) -> io::Result<RunReport> {
+    let mut report = RunReport::default();
+    for path in collect_rs_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(&path)?;
+        let file = analyze_source(&rel, &source);
+        report.findings.extend(file.findings);
+        report.suppressed += file.suppressed;
+        report.files += 1;
+    }
+    Ok(report)
+}
+
+/// Compare a run against the baseline: returns the keys whose current
+/// count exceeds their grandfathered allowance (missing key = 0).
+pub fn over_baseline(report: &RunReport, baseline: &Baseline) -> Vec<((String, String), usize, usize)> {
+    report
+        .counts()
+        .into_iter()
+        .filter_map(|(key, count)| {
+            let allowed = baseline.get(&key).copied().unwrap_or(0);
+            (count > allowed).then_some((key, count, allowed))
+        })
+        .collect()
+}
+
+/// Entry point shared by `main` and the fixture tests: lint `root`
+/// against `baseline_path`, print findings to stdout, and return the
+/// process exit code (0 = clean, 1 = new findings, 2 = I/O error is
+/// raised as `Err`).
+pub fn run(root: &Path, baseline_path: &Path, update_baseline: bool) -> io::Result<i32> {
+    let report = run_root(root)?;
+    if update_baseline {
+        let rendered = baseline::render(&report.counts());
+        std::fs::write(baseline_path, rendered)?;
+        println!(
+            "netpack-lint: baseline updated ({} findings across {} files)",
+            report.findings.len(),
+            report.files
+        );
+        return Ok(0);
+    }
+    let baseline = baseline::load(baseline_path)?;
+    let over = over_baseline(&report, &baseline);
+    if over.is_empty() {
+        println!(
+            "netpack-lint: clean ({} files, {} grandfathered, {} suppressed)",
+            report.files,
+            report.findings.len(),
+            report.suppressed
+        );
+        return Ok(0);
+    }
+    for ((rule, path), count, allowed) in &over {
+        println!("{path}: {rule}: {count} finding(s), baseline allows {allowed}:");
+        for f in report.findings.iter().filter(|f| f.rule == *rule && &f.path == path) {
+            println!("  {}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+        }
+    }
+    println!(
+        "netpack-lint: {} rule/file pair(s) above baseline — fix the findings, \
+         suppress with `// netpack-lint: allow(<rule>): <reason>`, or (for \
+         pre-existing debt only) run `cargo run -p netpack-lint -- --update-baseline`",
+        over.len()
+    );
+    Ok(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mask_covers_cfg_test_modules() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n  fn helper() {}\n}\nfn after() {}\n";
+        let lines = lexer::scan(src);
+        let mask = test_mask(&lines);
+        assert_eq!(mask, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn test_mask_covers_test_fns() {
+        let src = "#[test]\nfn t() {\n  body();\n}\nfn real() {}\n";
+        let mask = test_mask(&lexer::scan(src));
+        assert_eq!(mask, vec![true, true, true, true, false]);
+    }
+
+    #[test]
+    fn crate_attribution_follows_path() {
+        assert_eq!(crate_of("crates/waterfill/src/state.rs"), "waterfill");
+        assert_eq!(crate_of("crates/lint/src/lexer.rs"), "lint");
+        assert_eq!(crate_of("src/lib.rs"), "");
+        assert_eq!(crate_of("examples/demo.rs"), "");
+    }
+
+    #[test]
+    fn pragma_requires_known_rule_and_reason() {
+        assert!(parse_pragma(" just a comment").is_none());
+        assert!(
+            parse_pragma("/ doc: use `// netpack-lint: allow(D1): why`").is_none(),
+            "doc comments describe the syntax, they don't invoke it"
+        );
+        let ok = parse_pragma(" netpack-lint: allow(D1): keyed scratch map").unwrap();
+        assert!(ok.problem.is_none());
+        assert_eq!(ok.rule, "D1");
+        let no_reason = parse_pragma(" netpack-lint: allow(D1)").unwrap();
+        assert!(no_reason.problem.is_some());
+        let bad_rule = parse_pragma(" netpack-lint: allow(D9): whatever").unwrap();
+        assert!(bad_rule.problem.is_some());
+    }
+
+    #[test]
+    fn suppression_applies_to_same_and_next_line() {
+        let src = "\
+use std::time::Instant;
+fn f() {
+    let a = Instant::now(); // netpack-lint: allow(D2): fixture proves trailing form
+    // netpack-lint: allow(D2): fixture proves standalone form
+    let b = Instant::now();
+    let c = Instant::now();
+}
+";
+        let report = analyze_source("crates/model/src/x.rs", src);
+        assert_eq!(report.suppressed, 2);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].line, 6);
+    }
+}

@@ -1,0 +1,37 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! `netpack-lint` — determinism & numeric-safety static analysis for the
+//! NetPack workspace.
+//!
+//! Every fast path in this repo (incremental water-filling, the flow- and
+//! packet-level simulator fast modes) carries a bit-identity contract with
+//! its from-scratch reference. That contract dies quietly the moment code
+//! iterates a hash-ordered container, reads the wall clock into simulation
+//! state, draws unseeded randomness, or re-associates a float reduction
+//! inside a parallel fold. The property tests sample those hazards; this
+//! crate forbids them *statically*, before a single simulation runs.
+//!
+//! Five rules (fixture-tested in `tests/`):
+//!
+//! | rule | hazard |
+//! |------|--------|
+//! | `D1` | `HashMap`/`HashSet` iteration in sim/placement crates |
+//! | `D2` | `Instant::now` / `SystemTime` outside `metrics::perf` |
+//! | `D3` | unseeded randomness (`thread_rng`, `from_entropy`, `rand::random`) |
+//! | `N1` | float `+=` / `.sum()` inside parallel or batched-round regions |
+//! | `E1` | `.unwrap()` / `.expect()` / `panic!` in library-crate code |
+//!
+//! Test code is exempt from every rule. Individual findings are silenced
+//! with `// netpack-lint: allow(<rule>): <reason>` (the reason is
+//! mandatory); pre-existing debt is grandfathered in `lint-baseline.txt`
+//! as per-file counts, so only *new* findings fail the build. The tool is
+//! std-only — no `syn`, no proc-macro machinery — built on a small
+//! comment/string/raw-string-aware scanner ([`lexer`]).
+
+pub mod baseline;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{analyze_source, over_baseline, run, run_root, FileReport, RunReport};
+pub use rules::{Finding, D1_CRATES, E1_CRATES, RULES};

@@ -1,0 +1,52 @@
+//! CLI for `netpack-lint`. Run from the workspace root:
+//!
+//! ```text
+//! cargo run -p netpack-lint                      # lint, exit 1 on new findings
+//! cargo run -p netpack-lint -- --update-baseline # re-grandfather current state
+//! cargo run -p netpack-lint -- --root DIR --baseline FILE
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut baseline: Option<PathBuf> = None;
+    let mut update = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a directory"),
+            },
+            "--baseline" => match args.next() {
+                Some(v) => baseline = Some(PathBuf::from(v)),
+                None => return usage("--baseline needs a file path"),
+            },
+            "--update-baseline" => update = true,
+            "--help" | "-h" => {
+                println!(
+                    "netpack-lint: determinism & numeric-safety checks\n\
+                     options: [--root DIR] [--baseline FILE] [--update-baseline]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let baseline = baseline.unwrap_or_else(|| root.join("lint-baseline.txt"));
+    match netpack_lint::run(&root, &baseline, update) {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("netpack-lint: i/o error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("netpack-lint: {problem} (see --help)");
+    ExitCode::from(2)
+}

@@ -1,0 +1,520 @@
+//! The five NetPack lint rules.
+//!
+//! Every rule operates on blanked code lines (see [`crate::lexer`]) of a
+//! single file plus a little per-file context (crate name, test-line
+//! mask). Rules are deliberately line-oriented and heuristic: the goal is
+//! catching this repo's real determinism hazards with zero dependencies,
+//! not a general Rust analyzer. The fixture tests in `tests/` define the
+//! contract for each rule.
+
+use crate::lexer::{is_ident_char, Line};
+
+/// A single rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`D1`, `D2`, `D3`, `N1`, `E1`, or `pragma`).
+    pub rule: &'static str,
+    /// Path as given to the engine (workspace-relative in normal runs).
+    pub path: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// All rule ids, in report order.
+pub const RULES: [&str; 5] = ["D1", "D2", "D3", "N1", "E1"];
+
+/// Crates whose non-test code must not iterate hash-ordered containers
+/// (rule D1): the simulation / placement / reporting pipeline where
+/// iteration order reaches results.
+pub const D1_CRATES: [&str; 5] = ["waterfill", "flowsim", "packetsim", "placement", "core"];
+
+/// Library crates where new panics are forbidden (rule E1). `bench` and
+/// `cli` are driver/report binaries where aborting on a malformed flag or
+/// an unwritable CSV directory is the intended behavior.
+pub const E1_CRATES: [&str; 9] = [
+    "topology", "workload", "model", "waterfill", "placement", "core", "flowsim", "packetsim",
+    "metrics",
+];
+
+/// Per-file inputs shared by all rules.
+pub struct FileContext<'a> {
+    /// Workspace-relative path (used for crate attribution and exemptions).
+    pub path: &'a str,
+    /// Crate name derived from the path (`crates/<name>/src/…`), or `""`.
+    pub crate_name: &'a str,
+    /// Blanked source lines from [`crate::lexer::scan`].
+    pub lines: &'a [Line],
+    /// `true` for every line inside a `#[cfg(test)]` / `#[test]` region.
+    pub is_test: &'a [bool],
+}
+
+impl FileContext<'_> {
+    fn code(&self, idx: usize) -> &str {
+        &self.lines[idx].code
+    }
+}
+
+/// Run every rule over one file. Suppression and baselines are applied by
+/// the engine afterwards; this returns raw findings.
+pub fn check_file(ctx: &FileContext<'_>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    d1_hash_iteration(ctx, &mut findings);
+    d2_wall_clock(ctx, &mut findings);
+    d3_unseeded_randomness(ctx, &mut findings);
+    n1_parallel_float_accumulation(ctx, &mut findings);
+    e1_panics(ctx, &mut findings);
+    findings
+}
+
+fn finding(ctx: &FileContext<'_>, rule: &'static str, idx: usize, message: String) -> Finding {
+    Finding {
+        rule,
+        path: ctx.path.to_string(),
+        line: idx + 1,
+        message,
+    }
+}
+
+/// Does `hay` contain `needle` as a whole identifier (not a substring of a
+/// longer identifier)?
+fn has_ident(hay: &str, needle: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(needle) {
+        let start = from + pos;
+        let end = start + needle.len();
+        let before_ok = start == 0
+            || !is_ident_char(hay[..start].chars().next_back().unwrap_or(' '));
+        let after_ok = end >= hay.len() || !is_ident_char(hay[end..].chars().next().unwrap_or(' '));
+        if before_ok && after_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// The identifier ending immediately before byte offset `end` in `s`
+/// (e.g. the receiver of a `.iter()` call), skipping one `self.` prefix.
+fn ident_before(s: &str, end: usize) -> Option<&str> {
+    let bytes = s.as_bytes();
+    let mut start = end;
+    while start > 0 && is_ident_char(bytes[start - 1] as char) {
+        start -= 1;
+    }
+    if start == end {
+        return None;
+    }
+    Some(&s[start..end])
+}
+
+/// Names bound to `HashMap`/`HashSet` in this file: `let` bindings,
+/// struct fields, and fn params, matched on the blanked code.
+fn hash_bound_names(ctx: &FileContext<'_>) -> Vec<String> {
+    bound_names(ctx, &["HashMap", "HashSet"])
+}
+
+/// Names whose declared type or initializer marks them as floats.
+fn float_bound_names(ctx: &FileContext<'_>) -> Vec<String> {
+    let mut names = bound_names(ctx, &["f64", "f32"]);
+    // `let mut acc = 0.0;` style initializers.
+    for line in ctx.lines {
+        let code = &line.code;
+        if let Some(rest) = code.trim_start().strip_prefix("let ") {
+            let rest = rest.trim_start().trim_start_matches("mut ").trim_start();
+            let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+            if !name.is_empty() {
+                if let Some(eq) = code.find('=') {
+                    if looks_like_float_literal(code[eq + 1..].trim()) {
+                        names.push(name);
+                    }
+                }
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+fn looks_like_float_literal(s: &str) -> bool {
+    let s = s.trim_end_matches(';').trim();
+    let mut chars = s.chars();
+    let mut saw_digit = false;
+    let mut saw_dot = false;
+    for c in chars.by_ref() {
+        match c {
+            '0'..='9' | '_' => saw_digit = true,
+            '.' if saw_digit && !saw_dot => saw_dot = true,
+            _ => return false,
+        }
+    }
+    saw_digit && saw_dot
+}
+
+/// Collect names declared with any of the marker types: `let x: T<…>`,
+/// `let x = T::…`, `field: T<…>`, `param: T<…>`.
+fn bound_names(ctx: &FileContext<'_>, markers: &[&str]) -> Vec<String> {
+    let mut names = Vec::new();
+    for line in ctx.lines {
+        let code = &line.code;
+        if !markers.iter().any(|m| has_ident(code, m)) {
+            continue;
+        }
+        // `let [mut] NAME …` binding on this line.
+        if let Some(pos) = code.find("let ") {
+            let rest = code[pos + 4..].trim_start().trim_start_matches("mut ").trim_start();
+            let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+            if !name.is_empty() {
+                names.push(name);
+                continue;
+            }
+        }
+        // `NAME: Marker<…>` — struct fields and fn parameters; a line may
+        // declare several, so every colon is examined.
+        for (colon, _) in code.match_indices(':') {
+            if colon + 1 < code.len() && code[colon + 1..].starts_with(':') {
+                continue; // path separator `::`
+            }
+            if colon > 0 && code[..colon].ends_with(':') {
+                continue;
+            }
+            let after = code[colon + 1..].trim_start();
+            let after = after
+                .trim_start_matches('&')
+                .trim_start_matches("mut ")
+                .trim_start_matches("std::collections::");
+            if markers.iter().any(|m| after.starts_with(m)) {
+                if let Some(name) = ident_before(code, colon) {
+                    names.push(name.to_string());
+                }
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// D1 — hash-order iteration in sim/placement crates.
+fn d1_hash_iteration(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    if !D1_CRATES.contains(&ctx.crate_name) {
+        return;
+    }
+    let hash_names = hash_bound_names(ctx);
+    if hash_names.is_empty() {
+        return;
+    }
+    const ITER_METHODS: [&str; 8] = [
+        ".iter()",
+        ".iter_mut()",
+        ".keys()",
+        ".values()",
+        ".values_mut()",
+        ".into_iter()",
+        ".drain(",
+        ".retain(",
+    ];
+    for (idx, line) in ctx.lines.iter().enumerate() {
+        if ctx.is_test[idx] {
+            continue;
+        }
+        let code = &line.code;
+        for method in ITER_METHODS {
+            let mut from = 0;
+            while let Some(pos) = code[from..].find(method) {
+                let at = from + pos;
+                if let Some(recv) = ident_before(code, at) {
+                    if hash_names.iter().any(|n| n == recv) {
+                        out.push(finding(
+                            ctx,
+                            "D1",
+                            idx,
+                            format!(
+                                "iteration over hash-ordered `{recv}` via `{}` — use BTreeMap or an explicit sort",
+                                method.trim_end_matches('(')
+                            ),
+                        ));
+                    }
+                }
+                from = at + method.len();
+            }
+        }
+        // `for pat in [&[mut]] NAME` — direct IntoIterator use.
+        if let Some(for_pos) = find_keyword(code, "for") {
+            if let Some(in_rel) = find_keyword(&code[for_pos..], "in") {
+                let expr = code[for_pos + in_rel + 2..]
+                    .trim_start()
+                    .trim_start_matches('&')
+                    .trim_start_matches("mut ")
+                    .trim_start();
+                let head: String = expr.chars().take_while(|&c| is_ident_char(c)).collect();
+                if hash_names.contains(&head) && !expr[head.len()..].starts_with('.') {
+                    out.push(finding(
+                        ctx,
+                        "D1",
+                        idx,
+                        format!("`for … in {head}` iterates a hash-ordered container"),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Byte offset of keyword `kw` in `s` with identifier boundaries.
+fn find_keyword(s: &str, kw: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(pos) = s[from..].find(kw) {
+        let start = from + pos;
+        let end = start + kw.len();
+        let before_ok =
+            start == 0 || !is_ident_char(s[..start].chars().next_back().unwrap_or(' '));
+        let after_ok = end >= s.len() || !is_ident_char(s[end..].chars().next().unwrap_or(' '));
+        if before_ok && after_ok {
+            return Some(start);
+        }
+        from = end;
+    }
+    None
+}
+
+/// D2 — wall-clock reads outside `metrics::perf`.
+fn d2_wall_clock(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    if ctx.path.ends_with("crates/metrics/src/perf.rs") || ctx.path == "crates/metrics/src/perf.rs"
+    {
+        return;
+    }
+    for (idx, line) in ctx.lines.iter().enumerate() {
+        if ctx.is_test[idx] {
+            continue;
+        }
+        let code = &line.code;
+        if code.contains("Instant::now") {
+            out.push(finding(
+                ctx,
+                "D2",
+                idx,
+                "`Instant::now` outside metrics::perf — time via `netpack_metrics::Stopwatch`"
+                    .to_string(),
+            ));
+        }
+        if has_ident(code, "SystemTime") {
+            out.push(finding(
+                ctx,
+                "D2",
+                idx,
+                "`SystemTime` outside metrics::perf — wall-clock reads break replay determinism"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// D3 — unseeded randomness outside tests.
+fn d3_unseeded_randomness(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    for (idx, line) in ctx.lines.iter().enumerate() {
+        if ctx.is_test[idx] {
+            continue;
+        }
+        let code = &line.code;
+        for (pattern, whole_ident) in [
+            ("thread_rng", true),
+            ("from_entropy", true),
+            ("rand::random", false),
+        ] {
+            let hit = if whole_ident {
+                has_ident(code, pattern)
+            } else {
+                code.contains(pattern)
+            };
+            if hit {
+                out.push(finding(
+                    ctx,
+                    "D3",
+                    idx,
+                    format!("`{pattern}` is unseeded randomness — derive every RNG from an explicit seed"),
+                ));
+            }
+        }
+    }
+}
+
+/// N1 — float accumulation inside parallel or batched-round regions that
+/// bypasses exact (`add_cycle`-style) accumulation.
+fn n1_parallel_float_accumulation(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    let region = n1_regions(ctx);
+    if !region.iter().any(|&r| r) {
+        return;
+    }
+    let float_names = float_bound_names(ctx);
+    for (idx, line) in ctx.lines.iter().enumerate() {
+        if ctx.is_test[idx] || !region[idx] {
+            continue;
+        }
+        let code = &line.code;
+        if code.contains("add_cycle") {
+            continue;
+        }
+        if let Some(pos) = code.find("+=") {
+            let lhs = code[..pos].trim_end();
+            let target = lhs
+                .rsplit(|c: char| !is_ident_char(c) && c != '.')
+                .next()
+                .unwrap_or("");
+            let target_last = target.rsplit('.').next().unwrap_or(target);
+            let floaty = float_names.iter().any(|n| n == target_last)
+                || has_float_evidence(code);
+            if floaty {
+                out.push(finding(
+                    ctx,
+                    "N1",
+                    idx,
+                    format!(
+                        "float `+=` on `{target_last}` in a parallel/batched region — route through exact accumulation (add_cycle)"
+                    ),
+                ));
+            }
+        }
+        if code.contains(".sum::<f64>()")
+            || code.contains(".sum::<f32>()")
+            || (code.contains(".sum()") && has_float_evidence(code))
+        {
+            out.push(finding(
+                ctx,
+                "N1",
+                idx,
+                "float `.sum()` in a parallel/batched region re-associates — use exact accumulation"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+fn has_float_evidence(code: &str) -> bool {
+    has_ident(code, "f64") || has_ident(code, "f32") || contains_float_literal(code)
+}
+
+fn contains_float_literal(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'.'
+            && i > 0
+            && bytes[i - 1].is_ascii_digit()
+            && bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Lines inside a parallel closure (`parallel_sweep(…)`, rayon adapters,
+/// `thread::scope(…)`) or, in `packetsim`, inside a `fn …batch…` body.
+fn n1_regions(ctx: &FileContext<'_>) -> Vec<bool> {
+    let mut region = vec![false; ctx.lines.len()];
+    const TRIGGERS: [&str; 6] = [
+        "parallel_sweep(",
+        ".par_iter(",
+        ".into_par_iter(",
+        ".par_chunks(",
+        "rayon::scope(",
+        "thread::scope(",
+    ];
+    for (idx, line) in ctx.lines.iter().enumerate() {
+        for trigger in TRIGGERS {
+            if let Some(pos) = line.code.find(trigger) {
+                let open = pos + trigger.len() - 1;
+                mark_balanced(ctx, idx, open, '(', ')', &mut region);
+            }
+        }
+    }
+    if ctx.crate_name == "packetsim" {
+        for (idx, line) in ctx.lines.iter().enumerate() {
+            if let Some(pos) = find_keyword(&line.code, "fn") {
+                let name: String = line.code[pos + 2..]
+                    .trim_start()
+                    .chars()
+                    .take_while(|&c| is_ident_char(c))
+                    .collect();
+                if name.contains("batch") {
+                    if let Some((l, c)) = next_char_from(ctx, idx, pos, '{') {
+                        mark_balanced(ctx, l, c, '{', '}', &mut region);
+                    }
+                }
+            }
+        }
+    }
+    region
+}
+
+/// First position of `want` at or after (`line`, `col`), scanning forward.
+fn next_char_from(
+    ctx: &FileContext<'_>,
+    line: usize,
+    col: usize,
+    want: char,
+) -> Option<(usize, usize)> {
+    for idx in line..ctx.lines.len() {
+        let start = if idx == line { col } else { 0 };
+        if let Some(pos) = ctx.code(idx)[start.min(ctx.code(idx).len())..].find(want) {
+            return Some((idx, start + pos));
+        }
+    }
+    None
+}
+
+/// Mark every line from the `open` delimiter at (`line`, `col`) through
+/// its balanced close as in-region.
+fn mark_balanced(
+    ctx: &FileContext<'_>,
+    line: usize,
+    col: usize,
+    open: char,
+    close: char,
+    region: &mut [bool],
+) {
+    let mut depth = 0i32;
+    for (idx, in_region) in region.iter_mut().enumerate().skip(line) {
+        *in_region = true;
+        let code = ctx.code(idx);
+        let start = if idx == line { col } else { 0 };
+        for c in code[start.min(code.len())..].chars() {
+            if c == open {
+                depth += 1;
+            } else if c == close {
+                depth -= 1;
+                if depth == 0 {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// E1 — panics in library-crate non-test code.
+fn e1_panics(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    if !E1_CRATES.contains(&ctx.crate_name) {
+        return;
+    }
+    for (idx, line) in ctx.lines.iter().enumerate() {
+        if ctx.is_test[idx] {
+            continue;
+        }
+        let code = &line.code;
+        for pattern in [".unwrap()", ".expect(", "panic!("] {
+            if code.contains(pattern) {
+                out.push(finding(
+                    ctx,
+                    "E1",
+                    idx,
+                    format!(
+                        "`{}` in library code — return a typed error or prove the invariant in an `expect` message and suppress",
+                        pattern.trim_end_matches('(')
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,14 @@
+// D1 negative: keyed lookup on hash maps and iteration over BTreeMap
+// are both allowed.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn keyed_lookup(map: &HashMap<u64, f64>, sorted: &BTreeMap<u64, f64>) -> f64 {
+    let mut total = map.get(&3).copied().unwrap_or(0.0);
+    for (_k, v) in sorted.iter() {
+        total += v;
+    }
+    if map.contains_key(&7) {
+        total += 1.0;
+    }
+    total
+}

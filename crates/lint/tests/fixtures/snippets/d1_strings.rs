@@ -1,0 +1,10 @@
+// D1 strings: mentions of iteration inside literals and comments must
+// not fire even though `map` is genuinely hash-bound.
+use std::collections::HashMap;
+
+pub fn docs(map: &HashMap<u64, u64>) -> String {
+    // map.iter() and map.keys() in a comment are not code.
+    let msg = format!("try map.iter() or map.keys(), len={}", map.len());
+    let raw = r#"for k in map.drain() { map.values() }"#;
+    format!("{msg} {raw}")
+}

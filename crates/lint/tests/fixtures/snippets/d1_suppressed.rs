@@ -1,0 +1,12 @@
+// D1 suppressed: iteration acknowledged and justified with a pragma.
+use std::collections::HashMap;
+
+pub fn sorted_keys(map: &HashMap<u64, u64>) -> Vec<u64> {
+    let mut ids: Vec<u64> = Vec::new();
+    // netpack-lint: allow(D1): keys are sorted immediately below
+    for k in map.keys() {
+        ids.push(*k);
+    }
+    ids.sort_unstable();
+    ids
+}

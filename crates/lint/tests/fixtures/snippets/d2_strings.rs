@@ -1,0 +1,7 @@
+// D2 strings: clock names inside literals and comments are not reads.
+pub fn describe() -> String {
+    // Instant::now() belongs in metrics::perf only.
+    let a = "Instant::now and SystemTime belong in metrics::perf";
+    let b = r#"let t = Instant::now(); SystemTime::now()"#;
+    format!("{a} {b}")
+}

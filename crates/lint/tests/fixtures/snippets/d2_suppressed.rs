@@ -1,0 +1,5 @@
+// D2 suppressed: a justified wall-clock read.
+pub fn logged() -> f64 {
+    let t = std::time::Instant::now(); // netpack-lint: allow(D2): report-only timestamp, never enters sim state
+    t.elapsed().as_secs_f64()
+}

@@ -1,0 +1,7 @@
+// D3 strings: RNG names inside literals and comments are not draws.
+pub fn describe() -> String {
+    // thread_rng and from_entropy are banned outside tests.
+    let a = "never call thread_rng or from_entropy in sim code";
+    let b = r#"let x: u64 = rand::random();"#;
+    format!("{a} {b}")
+}

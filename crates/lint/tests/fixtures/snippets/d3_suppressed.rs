@@ -1,0 +1,6 @@
+// D3 suppressed: an acknowledged entropy draw.
+pub fn session_nonce() -> u64 {
+    // netpack-lint: allow(D3): nonce only names an output file, never enters simulation
+    let nonce: u64 = rand::random();
+    nonce
+}

@@ -1,0 +1,16 @@
+// E1 negative: typed errors and infallible alternatives.
+pub fn careful(v: &[u32]) -> Result<u32, String> {
+    let first = v.first().ok_or("empty input")?;
+    let second = v.get(1).copied().unwrap_or(0);
+    Ok(first.saturating_add(second))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v = vec![1u32, 2];
+        assert_eq!(v.first().unwrap(), &1);
+        let _second = v.get(1).expect("second");
+    }
+}

@@ -1,0 +1,7 @@
+// E1 strings: panic vocabulary inside literals and comments is fine.
+pub fn describe() -> String {
+    // .unwrap() and panic!() in comments are not calls.
+    let a = "never .unwrap() or .expect(..) or panic!(..) in library code";
+    let b = r#"v.first().unwrap(); panic!("boom")"#;
+    format!("{a} {b}")
+}

@@ -1,0 +1,17 @@
+// N1 negative: exact accumulation via add_cycle, integer accumulation,
+// and float folds outside any parallel region.
+pub fn exact(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    parallel_sweep(xs, |x| {
+        acc = add_cycle(acc, *x, 4);
+        let mut count = 0usize;
+        count += 1;
+        count
+    });
+    // Outside the parallel region: sequential float folds are fine.
+    let mut total = 0.0;
+    for x in xs {
+        total += x;
+    }
+    acc + total
+}

@@ -1,0 +1,8 @@
+// N1 strings: accumulation spelled inside literals within a real
+// parallel region is not accumulation.
+pub fn logs(xs: &[f64]) -> Vec<String> {
+    parallel_sweep(xs, |x| {
+        // acc += x and .sum::<f64>() in comments are not code.
+        format!("would be acc += {x} then .sum::<f64>()")
+    })
+}

@@ -1,0 +1,8 @@
+// N1 suppressed: a justified in-closure float accumulation.
+pub fn chunked(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    parallel_sweep(xs, |x| {
+        acc += x; // netpack-lint: allow(N1): per-chunk partials merged in fixed chunk order downstream
+    });
+    acc
+}

@@ -1,0 +1,24 @@
+// Clean fixture: deterministic containers, no clocks, no panics.
+use std::collections::BTreeMap;
+
+pub fn deterministic(map: &BTreeMap<u64, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_k, v) in map.iter() {
+        total += v;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may do anything: hash iteration, clocks, unwraps.
+    use std::collections::HashMap;
+
+    #[test]
+    fn scratch_map_is_fine() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        for (_k, _v) in m.iter() {}
+        let _t = std::time::Instant::now();
+        assert!(m.is_empty());
+    }
+}

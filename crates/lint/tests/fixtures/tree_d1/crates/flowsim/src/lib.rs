@@ -1,0 +1,14 @@
+// D1 positive fixture: hash-ordered iteration in a sim crate.
+use std::collections::{HashMap, HashSet};
+
+pub fn order_sensitive(map: HashMap<u64, f64>, set: HashSet<u64>) -> f64 {
+    let mut total = 0.0;
+    for (_k, v) in map.iter() {
+        total += v;
+    }
+    for x in &set {
+        total += *x as f64;
+    }
+    let keys: Vec<u64> = map.keys().copied().collect();
+    total + keys.len() as f64
+}

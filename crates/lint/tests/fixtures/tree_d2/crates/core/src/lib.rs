@@ -1,0 +1,12 @@
+// D2 positive fixture: wall-clock reads outside metrics::perf.
+pub fn stamp() -> std::time::Duration {
+    let t0 = std::time::Instant::now();
+    t0.elapsed()
+}
+
+pub fn wall_secs() -> u64 {
+    match std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}

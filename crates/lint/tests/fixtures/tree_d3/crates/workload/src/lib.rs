@@ -1,0 +1,8 @@
+// D3 positive fixture: unseeded randomness in non-test code.
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    let x: u64 = rand::random();
+    let _fresh = rand::rngs::SmallRng::from_entropy();
+    let _ = &mut rng;
+    x
+}

@@ -1,0 +1,9 @@
+// E1 positive fixture: panics in library-crate non-test code.
+pub fn brittle(v: &[u32]) -> u32 {
+    let first = v.first().unwrap();
+    let second = v.get(1).expect("second element");
+    if *first > *second {
+        panic!("unsorted input");
+    }
+    *first
+}

@@ -1,0 +1,16 @@
+// N1 positive fixture: float accumulation inside a parallel closure and
+// inside a batched-round function, neither routed through add_cycle.
+pub fn sweep(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    parallel_sweep(xs, |x| {
+        acc += x;
+        xs.iter().map(|v| *v).sum::<f64>()
+    });
+    acc
+}
+
+fn apply_batch(goodput: &mut f64, deltas: &[f64]) {
+    for d in deltas {
+        *goodput += *d;
+    }
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Evaluation metrics and small statistics helpers for NetPack experiments.
 //!
@@ -25,7 +26,7 @@ mod regression;
 mod stats;
 mod table;
 
-pub use perf::PerfCounters;
+pub use perf::{PerfCounters, Stopwatch};
 pub use regression::{linear_fit, LinearFit};
 pub use stats::{normalize_to, Summary};
 pub use table::TextTable;

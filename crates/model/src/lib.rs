@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! The statistical-INA aggregation model (paper §4.1, Table 1, Fig. 5).
 //!

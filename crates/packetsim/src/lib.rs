@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Packet-level statistical-INA switch simulator — the testbed stand-in.
 //!

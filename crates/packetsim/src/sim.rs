@@ -33,7 +33,7 @@
 use crate::{JobStats, PacketSimReport};
 use netpack_metrics::PerfCounters;
 use netpack_topology::JobId;
-use std::time::Instant;
+use netpack_metrics::Stopwatch;
 
 /// How the switch memory is multiplexed (§2.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -386,7 +386,7 @@ impl PacketSim {
     /// 100 buckets across the duration.
     pub fn run(&mut self, duration_s: f64) -> PacketSimReport {
         assert!(duration_s > 0.0, "duration must be positive");
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let rtt_s = self.config.rtt_us * 1e-6;
         let rounds = (duration_s / rtt_s).floor().max(1.0) as u64;
         let bucket_rounds = (rounds / 100).max(1);

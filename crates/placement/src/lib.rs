@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Job-placement algorithms: NetPack (Algorithm 2), six baselines, and an
 //! exact reference solver.

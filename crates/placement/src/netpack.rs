@@ -8,7 +8,7 @@ use netpack_model::{JobHierarchy, Placement};
 use netpack_topology::{Cluster, RackId, ServerId};
 use netpack_waterfill::{estimate, IncrementalEstimator, PlacedJob, SteadyState};
 use netpack_workload::Job;
-use std::time::Instant;
+use netpack_metrics::Stopwatch;
 
 /// Minimum candidate-plan count before [`ScoringMode::Fast`] fans scoring
 /// out across threads; below this the spawn overhead dominates.
@@ -229,7 +229,7 @@ impl NetPackPlacer {
             WorkerDp::without_flow_dimension()
         };
         let slack = scratch.spec().gpus_per_server;
-        let dp_start = Instant::now();
+        let dp_start = Stopwatch::start();
         let plans = dp.plans(&stats, job.gpus, slack);
         perf.record("worker_dp", dp_start.elapsed());
         if plans.is_empty() {
@@ -242,7 +242,7 @@ impl NetPackPlacer {
             "ps_candidates_scored",
             (plans.len() * scratch.num_servers()) as u64,
         );
-        let scoring_start = Instant::now();
+        let scoring_start = Stopwatch::start();
         let best = match self.config.scoring {
             ScoringMode::Sequential => self.score_plans_sequential(scratch, state, capacity, &plans),
             ScoringMode::Fast => {
@@ -667,7 +667,7 @@ impl NetPackPlacer {
                 s
             }
             None => {
-                let start = Instant::now();
+                let start = Stopwatch::start();
                 let mut all: Vec<PlacedJob> =
                     running.iter().map(|r| r.to_placed(cluster)).collect();
                 for (job, p) in placed.iter() {
@@ -754,13 +754,16 @@ impl Placer for NetPackPlacer {
         // Counters are taken out of `self` so `place_one` (which borrows
         // `self` immutably) can record into them, then put back.
         let mut perf = std::mem::take(&mut self.perf);
-        let batch_start = Instant::now();
+        let batch_start = Stopwatch::start();
         let mut outcome = BatchOutcome::default();
         // Step 1: FindSubset.
         let subset = select_job_subset(batch, cluster.free_gpus());
-        let in_subset: std::collections::HashSet<usize> = subset.iter().copied().collect();
+        let mut in_subset = vec![false; batch.len()];
+        for &i in &subset {
+            in_subset[i] = true;
+        }
         for (i, job) in batch.iter().enumerate() {
-            if !in_subset.contains(&i) {
+            if !in_subset[i] {
                 outcome.deferred.push(job.clone());
             }
         }
@@ -776,7 +779,7 @@ impl Placer for NetPackPlacer {
                 // touches; everything else stays cached.
                 let running_placed: Vec<PlacedJob> =
                     running.iter().map(|r| r.to_placed(cluster)).collect();
-                let start = Instant::now();
+                let start = Stopwatch::start();
                 let mut inc = IncrementalEstimator::new(&scratch, &running_placed);
                 perf.record("waterfill_solve", start.elapsed());
                 for job in ordered {
@@ -787,7 +790,7 @@ impl Placer for NetPackPlacer {
                                     .allocate_gpus(s, w)
                                     .expect("DP placed within free GPUs");
                             }
-                            let start = Instant::now();
+                            let start = Stopwatch::start();
                             inc.push(&scratch, PlacedJob::new(job.id, &scratch, &placement));
                             perf.record("waterfill_solve", start.elapsed());
                             outcome.placed.push((job.clone(), placement));
@@ -815,7 +818,7 @@ impl Placer for NetPackPlacer {
                         "waterfill_jobs_resolved",
                         active.iter().filter(|j| j.is_network()).count() as u64,
                     );
-                    let start = Instant::now();
+                    let start = Stopwatch::start();
                     let state = estimate(&scratch, &active);
                     perf.record("waterfill_solve", start.elapsed());
                     match self.place_one(&scratch, &state, job, &mut perf) {

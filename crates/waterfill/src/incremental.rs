@@ -173,12 +173,15 @@ impl IncrementalEstimator {
         for w in nodes.windows(2) {
             self.dsu.union(w[0], w[1]);
         }
+        // Any node of the new job anchors its component; taken before the
+        // push moves `nodes` (the empty case returned above).
+        let anchor = nodes[0];
         self.jobs.push(job);
         self.job_nodes.push(nodes);
 
         // Member jobs of the (possibly merged) dirty component, in global
         // insertion order — the same order a from-scratch solve would use.
-        let root = self.dsu.find(self.job_nodes.last().unwrap()[0]);
+        let root = self.dsu.find(anchor);
         let mut members: Vec<usize> = Vec::new();
         for (i, nodes) in self.job_nodes.iter().enumerate() {
             if let Some(&first) = nodes.first() {

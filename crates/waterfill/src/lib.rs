@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Steady-state estimation for statistical INA — the paper's Algorithm 1.
 //!

@@ -2,7 +2,7 @@
 
 use crate::EPSILON_GBPS;
 use netpack_topology::{Cluster, JobId, LinkId, RackId, ServerId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The converged max-min steady state of a set of placed jobs.
 ///
@@ -10,8 +10,8 @@ use std::collections::HashMap;
 /// under the one-big-switch link layout (`LinkId::index`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SteadyState {
-    pub(crate) job_rates: HashMap<JobId, f64>,
-    pub(crate) job_shards: HashMap<JobId, usize>,
+    pub(crate) job_rates: BTreeMap<JobId, f64>,
+    pub(crate) job_shards: BTreeMap<JobId, usize>,
     pub(crate) link_residual: Vec<f64>,
     pub(crate) link_flows: Vec<u32>,
     pub(crate) pat_residual: Vec<f64>,
@@ -96,8 +96,8 @@ mod tests {
 
     fn tiny_state() -> SteadyState {
         SteadyState {
-            job_rates: HashMap::from([(JobId(0), 25.0), (JobId(1), f64::INFINITY)]),
-            job_shards: HashMap::from([(JobId(0), 1), (JobId(1), 1)]),
+            job_rates: BTreeMap::from([(JobId(0), 25.0), (JobId(1), f64::INFINITY)]),
+            job_shards: BTreeMap::from([(JobId(0), 1), (JobId(1), 1)]),
             link_residual: vec![50.0, 0.0, 100.0],
             link_flows: vec![1, 3, 0],
             pat_residual: vec![10.0, 0.0],

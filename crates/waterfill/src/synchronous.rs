@@ -19,7 +19,7 @@
 
 use crate::{PlacedJob, SteadyState, EPSILON_GBPS};
 use netpack_topology::{Cluster, JobId, RackId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Estimate the steady state when the switches run synchronous INA with
 /// equal static partitions.
@@ -65,8 +65,8 @@ pub fn estimate_synchronous(cluster: &Cluster, jobs: &[PlacedJob]) -> SteadyStat
         rate: f64,
         frozen: bool,
     }
-    let mut job_rates: HashMap<JobId, f64> = HashMap::with_capacity(jobs.len());
-    let mut job_shards: HashMap<JobId, usize> = HashMap::with_capacity(jobs.len());
+    let mut job_rates: BTreeMap<JobId, f64> = BTreeMap::new();
+    let mut job_shards: BTreeMap<JobId, usize> = BTreeMap::new();
     let mut active: Vec<Active> = Vec::new();
     for job in jobs {
         job_shards.insert(job.id(), job.shards());

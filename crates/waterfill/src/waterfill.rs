@@ -12,7 +12,7 @@
 use crate::{SteadyState, EPSILON_GBPS};
 use netpack_model::{JobHierarchy, Placement};
 use netpack_topology::{Cluster, JobId, RackId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A job that has been placed into the cluster, as the estimator sees it.
 ///
@@ -155,8 +155,8 @@ pub(crate) fn empty_state(cluster: &Cluster, jobs: &[PlacedJob]) -> SteadyState 
     for rack in cluster.racks() {
         bw.push(rack.uplink_gbps());
     }
-    let mut job_rates = HashMap::with_capacity(jobs.len());
-    let mut job_shards = HashMap::with_capacity(jobs.len());
+    let mut job_rates = BTreeMap::new();
+    let mut job_shards = BTreeMap::new();
     for job in jobs {
         job_shards.insert(job.id, job.shards());
         if !job.is_network() {
@@ -395,7 +395,7 @@ pub(crate) fn partition_components(cluster: &Cluster, jobs: &[PlacedJob]) -> Vec
         job_first_node.push(nodes.first().copied());
     }
     let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
-    let mut root_of: HashMap<usize, usize> = HashMap::new();
+    let mut root_of: BTreeMap<usize, usize> = BTreeMap::new();
     for (i, first) in job_first_node.iter().enumerate() {
         let Some(first) = *first else { continue };
         let root = dsu.find(first);

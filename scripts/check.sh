@@ -3,22 +3,27 @@
 #
 #   ./scripts/check.sh
 #
-# Runs the release build, the full workspace test suite, the doctests,
-# and clippy with warnings denied. Keep this list in sync with README.md.
+# Runs the release build, clippy with warnings denied, netpack-lint (the
+# determinism/numeric-safety static pass; any finding not grandfathered in
+# lint-baseline.txt fails), the full workspace test suite, and the
+# doctests. Keep this list in sync with README.md.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "==> cargo build --workspace --release"
 cargo build --workspace --release
 
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo run -p netpack-lint (new findings vs lint-baseline.txt fail)"
+cargo run -q -p netpack-lint
+
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
 echo "==> cargo test --workspace --doc -q"
 cargo test --workspace --doc -q
-
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> fig9 smoke: incremental vs scratch steady state must match"
 smoke_inc=$(NETPACK_SMOKE=1 NETPACK_QUICK=1 NETPACK_REPEATS=1 NETPACK_SIM=incremental \

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! NetPack: training-job placement for GPU clusters with statistical
 //! in-network aggregation.
