@@ -1,0 +1,28 @@
+//! Validate a `BENCH_*.json` JSON-Lines file against the [`BenchRow`]
+//! schema (DESIGN.md §3.10). Exits non-zero with the first violation —
+//! the last step of `scripts/bench.sh`.
+//!
+//! Usage: `bench_json_check [path]` (default
+//! `results/BENCH_placement.json`).
+
+use netpack_bench::validate_bench_jsonl;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/BENCH_placement.json".to_string());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("{path}: cannot read: {e}");
+            std::process::exit(1);
+        }
+    };
+    match validate_bench_jsonl(&text) {
+        Ok(rows) => println!("{path}: {rows} rows OK"),
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -13,7 +13,7 @@
 //! Set `NETPACK_SCORING=fast` or `NETPACK_SCORING=sequential` to run only
 //! one mode.
 
-use netpack_bench::quick;
+use netpack_bench::{emit_bench_row, quick, BenchRow};
 use netpack_metrics::TextTable;
 use netpack_placement::{NetPackConfig, NetPackPlacer, Placer, ScoringMode};
 use netpack_topology::{Cluster, ClusterSpec, JobId};
@@ -90,6 +90,15 @@ fn main() {
                 let outcome = placer.place_batch(&cluster, &[], &b);
                 let elapsed = start.elapsed().as_secs_f64();
                 let placed = outcome.placed.len().max(1);
+                emit_bench_row(&BenchRow {
+                    bench: "fig10_placement_time",
+                    instance: format!("servers={servers}/jobs={jobs}"),
+                    mode: mode_name.to_string(),
+                    wall_s: elapsed,
+                    evals: placer.perf().counter("plans_considered"),
+                    nodes: 0,
+                    pruned: 0,
+                });
                 table.row(vec![
                     servers.to_string(),
                     jobs.to_string(),

@@ -153,49 +153,7 @@ pub fn placer_by_name(name: &str) -> Box<dyn Placer> {
     }
 }
 
-/// Run one closure per sweep cell across `std::thread::scope` workers and
-/// return the results in cell order.
-///
-/// The deterministic ordered merge (chunk `i`'s results land before chunk
-/// `i+1`'s, same as a sequential loop) is what lets the figure binaries
-/// parallelize without changing a single printed byte — the same pattern
-/// as the placement scorer's parallel plan scoring. Each cell must be
-/// independent; all figure sweeps are (one `Simulation` per cell).
-///
-/// Honors `NETPACK_THREADS` (0 or unset → all available cores) so perf
-/// comparisons can pin a worker count.
-pub fn parallel_sweep<T, R, F>(cells: &[T], run: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let threads = std::env::var("NETPACK_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
-        .min(cells.len().max(1));
-    if threads <= 1 || cells.len() <= 1 {
-        return cells.iter().map(&run).collect();
-    }
-    let chunk = cells.len().div_ceil(threads);
-    let run = &run;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = cells
-            .chunks(chunk)
-            .map(|cell_chunk| scope.spawn(move || cell_chunk.iter().map(run).collect::<Vec<R>>()))
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("sweep worker panicked"))
-            .collect()
-    })
-}
+pub use netpack_metrics::parallel_sweep;
 
 /// Outcome of repeated trace replays for one placer.
 #[derive(Debug, Clone, Copy)]
@@ -282,6 +240,233 @@ pub fn emit_table(name: &str, table: &TextTable) {
     }
 }
 
+/// One machine-readable benchmark measurement — a line of
+/// `results/BENCH_placement.json`.
+///
+/// The schema (documented in DESIGN.md §3.10) is JSON Lines: one object
+/// per line with exactly the keys `bench`, `instance`, `mode` (strings),
+/// `wall_s` (finite non-negative number) and `evals`, `nodes`, `pruned`
+/// (non-negative integers; 0 when a counter does not apply to the bench).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    /// Source binary, e.g. `"table_mip_vs_dp"`.
+    pub bench: &'static str,
+    /// Instance label, e.g. `"6x2/3+3+3"` or `"servers=400/jobs=100"`.
+    pub instance: String,
+    /// Algorithm variant, e.g. `"bnb"`, `"scratch"`, `"dp"`, `"fast"`.
+    pub mode: String,
+    /// Wall-clock seconds for the measured call.
+    pub wall_s: f64,
+    /// Complete assignments evaluated (exact placers) or plans considered
+    /// (the DP placer).
+    pub evals: u64,
+    /// Search-tree nodes visited (branch-and-bound only; else 0).
+    pub nodes: u64,
+    /// Subtrees cut by the admissible bound (branch-and-bound only; else 0).
+    pub pruned: u64,
+}
+
+impl BenchRow {
+    /// Serialize as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let wall = if self.wall_s.is_finite() && self.wall_s >= 0.0 {
+            self.wall_s
+        } else {
+            0.0
+        };
+        format!(
+            "{{\"bench\":{},\"instance\":{},\"mode\":{},\"wall_s\":{},\"evals\":{},\"nodes\":{},\"pruned\":{}}}",
+            json_string(self.bench),
+            json_string(&self.instance),
+            json_string(&self.mode),
+            wall,
+            self.evals,
+            self.nodes,
+            self.pruned,
+        )
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Append `row` to the file named by `NETPACK_BENCH_JSON` (one JSON object
+/// per line). A no-op when the variable is unset or empty, so the figure
+/// binaries stay silent outside `scripts/bench.sh` runs.
+pub fn emit_bench_row(row: &BenchRow) {
+    if let Ok(path) = std::env::var("NETPACK_BENCH_JSON") {
+        if !path.is_empty() {
+            use std::io::Write;
+            let mut line = row.to_json();
+            line.push('\n');
+            let mut file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .unwrap_or_else(|e| panic!("opening {path}: {e}"));
+            file.write_all(line.as_bytes())
+                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        }
+    }
+}
+
+/// Validate a `BENCH_*.json` JSON-Lines document against the schema in
+/// [`BenchRow`]; returns the row count. Used by the `bench_json_check`
+/// binary at the end of `scripts/bench.sh`.
+pub fn validate_bench_jsonl(text: &str) -> Result<usize, String> {
+    let mut rows = 0;
+    for (n, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        validate_bench_line(line).map_err(|e| format!("line {}: {e}", n + 1))?;
+        rows += 1;
+    }
+    if rows == 0 {
+        return Err("no rows".to_string());
+    }
+    Ok(rows)
+}
+
+fn validate_bench_line(line: &str) -> Result<(), String> {
+    let fields = parse_flat_json_object(line)?;
+    const KEYS: [&str; 7] = ["bench", "instance", "mode", "wall_s", "evals", "nodes", "pruned"];
+    for key in KEYS {
+        if !fields.iter().any(|(k, _)| k == key) {
+            return Err(format!("missing key {key:?}"));
+        }
+    }
+    for (key, value) in &fields {
+        match (key.as_str(), value) {
+            ("bench" | "instance" | "mode", JsonValue::Str(s)) => {
+                if s.is_empty() {
+                    return Err(format!("{key:?} must be a non-empty string"));
+                }
+            }
+            ("wall_s", JsonValue::Num(v)) => {
+                if !v.is_finite() || *v < 0.0 {
+                    return Err(format!("wall_s must be finite and >= 0, got {v}"));
+                }
+            }
+            ("evals" | "nodes" | "pruned", JsonValue::Num(v)) => {
+                if !v.is_finite() || *v < 0.0 || v.fract() != 0.0 {
+                    return Err(format!("{key:?} must be a non-negative integer, got {v}"));
+                }
+            }
+            (other, _) if !KEYS.contains(&other) => {
+                return Err(format!("unknown key {other:?}"));
+            }
+            (other, _) => return Err(format!("wrong type for key {other:?}")),
+        }
+    }
+    Ok(())
+}
+
+enum JsonValue {
+    Str(String),
+    Num(f64),
+}
+
+/// Minimal parser for one flat JSON object of string/number values — the
+/// only shape the BENCH schema permits, so no external JSON crate needed.
+fn parse_flat_json_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut chars = line.chars().peekable();
+    let mut fields = Vec::new();
+    let skip_ws = |chars: &mut std::iter::Peekable<std::str::Chars>| {
+        while chars.peek().is_some_and(|c| c.is_whitespace()) {
+            chars.next();
+        }
+    };
+    let parse_string = |chars: &mut std::iter::Peekable<std::str::Chars>| -> Result<String, String> {
+        if chars.next() != Some('"') {
+            return Err("expected '\"'".to_string());
+        }
+        let mut out = String::new();
+        loop {
+            match chars.next() {
+                Some('"') => return Ok(out),
+                Some('\\') => match chars.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('r') => out.push('\r'),
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(c) => out.push(c),
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    };
+    skip_ws(&mut chars);
+    if chars.next() != Some('{') {
+        return Err("expected '{'".to_string());
+    }
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek() {
+            Some('}') => {
+                chars.next();
+                break;
+            }
+            Some('"') => {}
+            other => return Err(format!("expected key, got {other:?}")),
+        }
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next() != Some(':') {
+            return Err(format!("expected ':' after key {key:?}"));
+        }
+        skip_ws(&mut chars);
+        let value = if chars.peek() == Some(&'"') {
+            JsonValue::Str(parse_string(&mut chars)?)
+        } else {
+            let mut num = String::new();
+            while chars
+                .peek()
+                .is_some_and(|c| c.is_ascii_digit() || "+-.eE".contains(*c))
+            {
+                num.push(chars.next().unwrap_or_default());
+            }
+            JsonValue::Num(
+                num.parse::<f64>()
+                    .map_err(|_| format!("bad number {num:?} for key {key:?}"))?,
+            )
+        };
+        if fields.iter().any(|(k, _)| *k == key) {
+            return Err(format!("duplicate key {key:?}"));
+        }
+        fields.push((key, value));
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some(',') => {}
+            Some('}') => break,
+            other => return Err(format!("expected ',' or '}}', got {other:?}")),
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return Err("trailing characters after object".to_string());
+    }
+    Ok(fields)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,21 +496,6 @@ mod tests {
     }
 
     #[test]
-    fn parallel_sweep_preserves_cell_order() {
-        let cells: Vec<usize> = (0..37).collect();
-        let got = parallel_sweep(&cells, |&c| c * 2);
-        let want: Vec<usize> = cells.iter().map(|&c| c * 2).collect();
-        assert_eq!(got, want);
-    }
-
-    #[test]
-    fn parallel_sweep_handles_degenerate_sizes() {
-        let empty: Vec<u32> = Vec::new();
-        assert!(parallel_sweep(&empty, |&c| c).is_empty());
-        assert_eq!(parallel_sweep(&[7u32], |&c| c + 1), vec![8]);
-    }
-
-    #[test]
     fn parallel_sweep_matches_sequential_simulation() {
         // The real use: one simulation per cell must give the same
         // results as running the cells in a plain loop.
@@ -345,6 +515,58 @@ mod tests {
         let par = parallel_sweep(&cells, run);
         let seq: Vec<f64> = cells.iter().map(run).collect();
         assert_eq!(par, seq);
+    }
+
+    fn sample_row() -> BenchRow {
+        BenchRow {
+            bench: "table_mip_vs_dp",
+            instance: "6x2/3+3+3".to_string(),
+            mode: "bnb".to_string(),
+            wall_s: 0.125,
+            evals: 42,
+            nodes: 99,
+            pruned: 7,
+        }
+    }
+
+    #[test]
+    fn bench_row_json_round_trips_through_the_validator() {
+        let json = sample_row().to_json();
+        assert!(json.contains("\"bench\":\"table_mip_vs_dp\""));
+        assert_eq!(validate_bench_jsonl(&json), Ok(1));
+        // Multiple lines count as multiple rows; blanks are skipped.
+        let doc = format!("{json}\n\n{json}\n");
+        assert_eq!(validate_bench_jsonl(&doc), Ok(2));
+    }
+
+    #[test]
+    fn bench_row_json_escapes_strings() {
+        let row = BenchRow {
+            instance: "weird \"quote\" \\ tab\t".to_string(),
+            ..sample_row()
+        };
+        assert_eq!(validate_bench_jsonl(&row.to_json()), Ok(1));
+    }
+
+    #[test]
+    fn validator_rejects_schema_violations() {
+        // Missing key.
+        let missing = r#"{"bench":"b","instance":"i","mode":"m","wall_s":1,"evals":2,"nodes":3}"#;
+        assert!(validate_bench_jsonl(missing).is_err());
+        // Unknown key.
+        let unknown = r#"{"bench":"b","instance":"i","mode":"m","wall_s":1,"evals":2,"nodes":3,"pruned":0,"extra":1}"#;
+        assert!(validate_bench_jsonl(unknown).is_err());
+        // Wrong type.
+        let wrong = r#"{"bench":"b","instance":"i","mode":"m","wall_s":"fast","evals":2,"nodes":3,"pruned":0}"#;
+        assert!(validate_bench_jsonl(wrong).is_err());
+        // Non-integer counter.
+        let fractional = r#"{"bench":"b","instance":"i","mode":"m","wall_s":1,"evals":2.5,"nodes":3,"pruned":0}"#;
+        assert!(validate_bench_jsonl(fractional).is_err());
+        // Negative wall clock, malformed JSON, empty document.
+        let negative = r#"{"bench":"b","instance":"i","mode":"m","wall_s":-1,"evals":2,"nodes":3,"pruned":0}"#;
+        assert!(validate_bench_jsonl(negative).is_err());
+        assert!(validate_bench_jsonl("not json").is_err());
+        assert!(validate_bench_jsonl("").is_err());
     }
 
     #[test]

@@ -24,11 +24,13 @@
 mod perf;
 mod regression;
 mod stats;
+mod sweep;
 mod table;
 
 pub use perf::{PerfCounters, Stopwatch};
 pub use regression::{linear_fit, LinearFit};
 pub use stats::{normalize_to, Summary};
+pub use sweep::parallel_sweep;
 pub use table::TextTable;
 
 /// One finished job's accounting record, the unit every metric consumes.

@@ -1,0 +1,74 @@
+//! Deterministic fan-out over independent work cells.
+//!
+//! Lives here (rather than in `netpack-bench`) so that library crates —
+//! notably the placement scorer and the exact branch-and-bound — can share
+//! one audited parallelism primitive without depending on the benchmark
+//! driver crate. `netpack-bench` re-exports it unchanged.
+
+/// Run one closure per sweep cell across `std::thread::scope` workers and
+/// return the results in cell order.
+///
+/// The deterministic ordered merge (chunk `i`'s results land before chunk
+/// `i+1`'s, same as a sequential loop) is what lets the figure binaries
+/// and the exact placer parallelize without changing a single printed
+/// byte. Each cell must be independent; all callers' sweeps are.
+///
+/// Honors `NETPACK_THREADS` (0 or unset → all available cores) so perf
+/// comparisons can pin a worker count. A panicking worker is resumed on
+/// the caller's thread, so a cell failure surfaces exactly as it would in
+/// the sequential loop.
+pub fn parallel_sweep<T, R, F>(cells: &[T], run: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = std::env::var("NETPACK_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .min(cells.len().max(1));
+    if threads <= 1 || cells.len() <= 1 {
+        return cells.iter().map(&run).collect();
+    }
+    let chunk = cells.len().div_ceil(threads);
+    let run = &run;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = cells
+            .chunks(chunk)
+            .map(|cell_chunk| scope.spawn(move || cell_chunk.iter().map(run).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(results) => results,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_cell_order() {
+        let cells: Vec<usize> = (0..37).collect();
+        let got = parallel_sweep(&cells, |&c| c * 2);
+        let want: Vec<usize> = cells.iter().map(|&c| c * 2).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn handles_degenerate_sizes() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_sweep(&empty, |&c| c).is_empty());
+        assert_eq!(parallel_sweep(&[7u32], |&c| c + 1), vec![8]);
+    }
+}

@@ -1,20 +1,70 @@
-//! Exact joint placement by exhaustive search — the optimality reference
-//! standing in for the paper's Gurobi MIP (§5.1).
+//! Exact joint placement — the optimality reference standing in for the
+//! paper's Gurobi MIP (§5.1).
 //!
 //! The paper formulates batch placement as a MIP (Table 3) whose objective
 //! is the total communication time `Σ_j d^(j) / v^(j)` and reports that
 //! Gurobi needs hours at scale. This module explores the same decision
-//! space — per-server worker counts, PS location, per-job INA flag — by
-//! depth-first enumeration and evaluates each complete assignment with the
-//! water-filling steady-state model. It is exact with respect to our
-//! evaluation model and only feasible at toy scale, which is precisely its
-//! role: measuring the DP heuristic's optimality gap, and demonstrating
-//! the exponential blow-up that motivates the DP.
+//! space — per-server worker counts, PS location, per-job INA flag — and
+//! evaluates complete assignments with the water-filling steady-state
+//! model. It is exact with respect to our evaluation model and only
+//! feasible at toy scale, which is precisely its role: measuring the DP
+//! heuristic's optimality gap, and demonstrating the exponential blow-up
+//! that motivates the DP.
+//!
+//! Two search strategies are provided, selected by [`ExactMode`] (env var
+//! `NETPACK_EXACT=bnb|scratch`, same convention as `NETPACK_SIM` /
+//! `NETPACK_PKT`):
+//!
+//! * [`ExactMode::Scratch`] — the legacy exhaustive DFS: every leaf runs a
+//!   from-scratch water-filling via
+//!   [`batch_comm_time_s`](crate::batch_comm_time_s). Slow, but the
+//!   transparently-correct reference.
+//! * [`ExactMode::Bnb`] (default) — branch-and-bound over the same space:
+//!   the objective is maintained incrementally
+//!   ([`IncrementalEstimator`] push/pop per decision), subtrees whose
+//!   admissible lower bound cannot beat the incumbent are cut, symmetric
+//!   assignments (permutations over interchangeable servers) are collapsed
+//!   to canonical representatives, and the first decision level fans out
+//!   across threads via [`parallel_sweep`] with a shared best bound.
+//!
+//! Both modes return the **same** placement: the first-enumerated optimum
+//! in the scratch order, bit-identical objective included. DESIGN.md §3.10
+//! derives the bound, argues its admissibility under water-filling, and
+//! gives the symmetry and determinism arguments; the
+//! `tests/exact_bnb.rs` property suite pins the equivalence on 200 random
+//! instances.
 
 use crate::placer::{BatchOutcome, Placer, RunningJob};
+use netpack_metrics::{parallel_sweep, PerfCounters, Stopwatch};
 use netpack_model::Placement;
 use netpack_topology::{Cluster, ServerId};
+use netpack_waterfill::{IncrementalEstimator, PlacedJob, WaterfillStats};
 use netpack_workload::Job;
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Search strategy of the [`ExactPlacer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExactMode {
+    /// Branch-and-bound: incremental objective, admissible pruning,
+    /// symmetry breaking, deterministic parallel first level. The default.
+    #[default]
+    Bnb,
+    /// The legacy exhaustive DFS evaluating every leaf from scratch — the
+    /// reference the `bnb` mode is checked against.
+    Scratch,
+}
+
+impl ExactMode {
+    /// Read `NETPACK_EXACT` (`"bnb"` or `"scratch"`); anything else —
+    /// including unset — selects [`ExactMode::Bnb`].
+    pub fn from_env() -> Self {
+        match std::env::var("NETPACK_EXACT").as_deref() {
+            Ok("scratch") => ExactMode::Scratch,
+            _ => ExactMode::Bnb,
+        }
+    }
+}
 
 /// Exhaustive-search placer for toy instances.
 #[derive(Debug, Clone)]
@@ -22,16 +72,21 @@ pub struct ExactPlacer {
     max_evaluations: u64,
     enumerate_ina: bool,
     evaluations: u64,
+    mode: ExactMode,
+    perf: PerfCounters,
 }
 
 impl ExactPlacer {
     /// Exact placer that gives up (deferring the whole batch) after
-    /// `max_evaluations` candidate assignments.
+    /// `max_evaluations` candidate assignments. The search strategy
+    /// defaults to [`ExactMode::from_env`].
     pub fn new(max_evaluations: u64) -> Self {
         ExactPlacer {
             max_evaluations,
             enumerate_ina: false,
             evaluations: 0,
+            mode: ExactMode::from_env(),
+            perf: PerfCounters::new(),
         }
     }
 
@@ -42,104 +97,152 @@ impl ExactPlacer {
         self
     }
 
+    /// Override the search strategy (builder style), e.g. to force the
+    /// scratch reference in equivalence tests regardless of the env var.
+    pub fn mode(mut self, mode: ExactMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
     /// Number of complete assignments evaluated by the last
-    /// [`Placer::place_batch`] call.
+    /// [`Placer::place_batch`] call. Under [`ExactMode::Bnb`] pruned
+    /// subtrees never reach a leaf, so this is typically orders of
+    /// magnitude below the scratch count for the same instance.
     pub fn evaluations(&self) -> u64 {
         self.evaluations
     }
 
-    /// Enumerate worker distributions of `gpus` workers over servers with
-    /// the scratch cluster's free capacities.
-    fn worker_splits(cluster: &Cluster, gpus: usize) -> Vec<Vec<(ServerId, usize)>> {
-        let caps: Vec<usize> = cluster.servers().iter().map(|s| s.gpus_free()).collect();
-        let mut out = Vec::new();
-        let mut current: Vec<(ServerId, usize)> = Vec::new();
-        fn rec(
-            caps: &[usize],
-            idx: usize,
-            remaining: usize,
-            current: &mut Vec<(ServerId, usize)>,
-            out: &mut Vec<Vec<(ServerId, usize)>>,
-        ) {
-            if remaining == 0 {
-                out.push(current.clone());
-                return;
-            }
-            if idx == caps.len() {
-                return;
-            }
-            // Feasibility prune: the rest must be able to cover remaining.
-            let rest: usize = caps[idx..].iter().sum();
-            if rest < remaining {
-                return;
-            }
-            for take in (0..=caps[idx].min(remaining)).rev() {
-                if take > 0 {
-                    current.push((ServerId(idx), take));
-                }
-                rec(caps, idx + 1, remaining - take, current, out);
-                if take > 0 {
-                    current.pop();
-                }
-            }
-        }
-        rec(&caps, 0, gpus, &mut current, &mut out);
-        out
+    /// Perf counters accumulated across `place_batch` calls: search nodes
+    /// visited (`exact_nodes`), leaves evaluated (`exact_leaf_evals`),
+    /// subtrees cut by the bound (`exact_pruned_subtrees`), symmetric PS
+    /// candidates skipped (`exact_sym_ps_skips`), and the water-filling
+    /// work counters, plus the `place_batch` wall-clock timer.
+    pub fn perf(&self) -> &PerfCounters {
+        &self.perf
     }
 
-    fn search(
+    /// Take ownership of the accumulated perf counters, resetting them.
+    pub fn take_perf(&mut self) -> PerfCounters {
+        std::mem::take(&mut self.perf)
+    }
+
+    fn place_scratch(
         &mut self,
-        cluster: &mut Cluster,
+        cluster: &Cluster,
         running: &[RunningJob],
         batch: &[Job],
-        idx: usize,
-        current: &mut Vec<(Job, Placement)>,
-        best: &mut Option<(f64, Vec<(Job, Placement)>)>,
-    ) {
-        if self.evaluations >= self.max_evaluations {
-            return;
-        }
-        if idx == batch.len() {
-            self.evaluations += 1;
-            let obj = crate::placer::batch_comm_time_s(cluster, running, current);
-            if best.as_ref().is_none_or(|(b, _)| obj < *b) {
-                *best = Some((obj, current.clone()));
+    ) -> Option<(f64, Vec<(Job, Placement)>)> {
+        let mut search = ScratchSearch {
+            cluster,
+            running,
+            batch,
+            enumerate_ina: self.enumerate_ina,
+            max_evaluations: self.max_evaluations,
+            evaluations: 0,
+            best: None,
+        };
+        let mut free: Vec<usize> = cluster.servers().iter().map(|s| s.gpus_free()).collect();
+        let mut current = Vec::new();
+        search.search(&mut free, &mut current, 0);
+        self.evaluations = search.evaluations;
+        search.best
+    }
+
+    fn place_bnb(
+        &mut self,
+        cluster: &Cluster,
+        running: &[RunningJob],
+        batch: &[Job],
+    ) -> Option<(f64, Vec<(Job, Placement)>)> {
+        let free: Vec<usize> = cluster.servers().iter().map(|s| s.gpus_free()).collect();
+        let mut touched = vec![0u32; free.len()];
+        // Cache the RunningJob -> PlacedJob conversions once per batch; the
+        // scratch path re-does them at every leaf.
+        let running_placed: Vec<PlacedJob> = running.iter().map(|r| r.to_placed(cluster)).collect();
+        for r in running {
+            for &(s, _) in r.placement.workers() {
+                touched[s.0] += 1;
             }
-            return;
+            for &s in r.placement.pses() {
+                touched[s.0] += 1;
+            }
         }
-        let job = &batch[idx];
-        for split in Self::worker_splits(cluster, job.gpus) {
-            // PS candidates: every server for spanning placements, or the
-            // lone worker server / no PS for single-server placements.
-            let ps_candidates: Vec<Option<ServerId>> = if split.len() == 1 {
-                vec![None]
-            } else {
-                (0..cluster.num_servers()).map(|s| Some(ServerId(s))).collect()
-            };
-            for ps in ps_candidates {
-                let ina_options: &[bool] = if self.enumerate_ina && split.len() > 1 {
-                    &[true, false]
-                } else {
-                    &[true]
-                };
-                for &ina in ina_options {
-                    let mut placement = Placement::new(split.clone(), ps);
-                    placement.set_ina_enabled(ina);
-                    for &(s, w) in placement.workers() {
-                        cluster.allocate_gpus(s, w).expect("split within caps");
-                    }
-                    current.push((job.clone(), placement));
-                    self.search(cluster, running, batch, idx + 1, current, best);
-                    let (_, placement) = current.pop().expect("pushed above");
-                    for &(s, w) in placement.workers() {
-                        cluster.release_gpus(s, w).expect("was allocated");
-                    }
-                    if self.evaluations >= self.max_evaluations {
-                        return;
-                    }
+        if batch.is_empty() {
+            // Mirror the scratch search: the empty assignment is one leaf.
+            if self.max_evaluations > 0 {
+                self.evaluations = 1;
+            }
+            return Some((0.0, Vec::new()));
+        }
+        let ctx = BnbContext {
+            cluster,
+            batch,
+            enumerate_ina: self.enumerate_ina,
+            max_evaluations: self.max_evaluations,
+            evaluations: AtomicU64::new(0),
+            best_bound_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            link_gbps: cluster.spec().server_link_gbps,
+            rack_of: cluster.servers().iter().map(|s| s.rack().0).collect(),
+        };
+        let base = IncrementalEstimator::new(cluster, &running_placed);
+        let base_stats = *base.stats();
+
+        // Materialize the first decision level (job 0's canonical
+        // candidates) and fan it out; deeper levels stay sequential within
+        // each branch.
+        let mut root_stats = BnbStats {
+            nodes: 1,
+            ..BnbStats::default()
+        };
+        let classes = symmetry_classes(&ctx.rack_of, &free, &touched);
+        let mut candidates: Vec<Placement> = Vec::new();
+        let job0 = &batch[0];
+        let _ = for_each_split(&free, Some(&classes), job0.gpus, &mut |split| {
+            for ps in ps_candidates(split, &classes, free.len(), &mut root_stats) {
+                for &ina in ina_options(self.enumerate_ina, split.len()) {
+                    let mut p = Placement::new(split.to_vec(), ps);
+                    p.set_ina_enabled(ina);
+                    candidates.push(p);
+                }
+            }
+            ControlFlow::Continue(())
+        });
+
+        let results = parallel_sweep(&candidates, |cand| {
+            run_branch(&ctx, &base, &free, &touched, cand)
+        });
+
+        // Deterministic merge: branches are visited in enumeration order and
+        // an incumbent is only replaced by a strictly better objective, so
+        // the winner is the first-enumerated optimum regardless of how the
+        // branches interleaved at runtime.
+        let mut best: Option<(f64, Vec<(Job, Placement)>)> = None;
+        let mut stats = root_stats;
+        let mut wf = WaterfillStats::default();
+        for (branch_best, branch_stats, branch_wf) in results {
+            stats.merge(&branch_stats);
+            wf = wf_sum(&wf, &branch_wf);
+            if let Some((obj, placed)) = branch_best {
+                if best.as_ref().is_none_or(|(cur, _)| obj < *cur) {
+                    best = Some((obj, placed));
                 }
             }
         }
+        self.evaluations = stats.leaves;
+        self.perf.incr("exact_nodes", stats.nodes);
+        self.perf.incr("exact_leaf_evals", stats.leaves);
+        self.perf.incr("exact_pruned_subtrees", stats.pruned);
+        self.perf.incr("exact_sym_ps_skips", stats.sym_ps_skips);
+        self.perf.incr(
+            "waterfill_jobs_resolved",
+            base_stats.jobs_resolved + wf.jobs_resolved,
+        );
+        self.perf.incr("waterfill_jobs_reused", wf.jobs_reused);
+        self.perf.incr(
+            "waterfill_components_solved",
+            base_stats.components_solved + wf.components_solved,
+        );
+        best
     }
 }
 
@@ -160,11 +263,13 @@ impl Placer for ExactPlacer {
         running: &[RunningJob],
         batch: &[Job],
     ) -> BatchOutcome {
+        let watch = Stopwatch::start();
         self.evaluations = 0;
-        let mut scratch = cluster.clone();
-        let mut best: Option<(f64, Vec<(Job, Placement)>)> = None;
-        let mut current = Vec::new();
-        self.search(&mut scratch, running, batch, 0, &mut current, &mut best);
+        let best = match self.mode {
+            ExactMode::Scratch => self.place_scratch(cluster, running, batch),
+            ExactMode::Bnb => self.place_bnb(cluster, running, batch),
+        };
+        self.perf.record("place_batch", watch.elapsed());
         match best {
             Some((_, placed)) => BatchOutcome {
                 placed,
@@ -174,6 +279,425 @@ impl Placer for ExactPlacer {
                 placed: Vec::new(),
                 deferred: batch.to_vec(),
             },
+        }
+    }
+}
+
+/// The INA flags to branch on for a split of `num_servers` servers.
+fn ina_options(enumerate_ina: bool, num_servers: usize) -> &'static [bool] {
+    if enumerate_ina && num_servers > 1 {
+        &[true, false]
+    } else {
+        &[true]
+    }
+}
+
+/// Enumerate worker distributions of `gpus` workers over servers with
+/// `free` capacities (the scratch reference; eager, like the legacy code).
+fn worker_splits(free: &[usize], gpus: usize) -> Vec<Vec<(ServerId, usize)>> {
+    let mut out = Vec::new();
+    let _ = for_each_split(free, None, gpus, &mut |split| {
+        out.push(split.to_vec());
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+/// Callback enumeration of worker splits of `gpus` over `free` capacities:
+/// servers ascend, take counts descend per server, with a suffix-capacity
+/// feasibility prune — exactly the legacy `worker_splits` order, but
+/// allocation-free for the branch-and-bound hot loop.
+///
+/// With `class` set (`class[s]` = the smallest earlier server
+/// interchangeable with `s`, or `s` itself), only canonical splits are
+/// yielded: within a symmetry class, take counts must be non-increasing in
+/// server order. Every suppressed split is a within-class permutation of a
+/// canonical one, and because takes descend, the canonical member is the
+/// first of its orbit in the unrestricted enumeration order (DESIGN.md
+/// §3.10).
+/// Visitor over one worker split: return `Break` to stop the enumeration.
+type SplitVisitor<'v> = dyn FnMut(&[(ServerId, usize)]) -> ControlFlow<()> + 'v;
+
+fn for_each_split(
+    free: &[usize],
+    class: Option<&[usize]>,
+    gpus: usize,
+    f: &mut SplitVisitor<'_>,
+) -> ControlFlow<()> {
+    // suffix[i] = total free GPUs on servers i.. (feasibility prune).
+    let mut suffix = vec![0usize; free.len() + 1];
+    for i in (0..free.len()).rev() {
+        suffix[i] = suffix[i + 1] + free[i];
+    }
+    let mut current: Vec<(ServerId, usize)> = Vec::new();
+    let mut last_take = vec![usize::MAX; free.len()];
+    split_rec(free, class, &suffix, 0, gpus, &mut current, &mut last_take, f)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn split_rec(
+    free: &[usize],
+    class: Option<&[usize]>,
+    suffix: &[usize],
+    idx: usize,
+    remaining: usize,
+    current: &mut Vec<(ServerId, usize)>,
+    last_take: &mut [usize],
+    f: &mut SplitVisitor<'_>,
+) -> ControlFlow<()> {
+    if remaining == 0 {
+        return f(current);
+    }
+    if idx == free.len() || suffix[idx] < remaining {
+        return ControlFlow::Continue(());
+    }
+    let rep = class.map_or(idx, |c| c[idx]);
+    let mut cap = free[idx].min(remaining);
+    if rep != idx {
+        // Canonical form: never take more than the previous member of the
+        // same symmetry class.
+        cap = cap.min(last_take[rep]);
+    }
+    for take in (0..=cap).rev() {
+        if take > 0 {
+            current.push((ServerId(idx), take));
+        }
+        let saved = last_take[rep];
+        last_take[rep] = take;
+        let flow = split_rec(free, class, suffix, idx + 1, remaining - take, current, last_take, f);
+        last_take[rep] = saved;
+        if take > 0 {
+            current.pop();
+        }
+        flow?;
+    }
+    ControlFlow::Continue(())
+}
+
+/// Group servers into interchangeability classes for the current residual
+/// state: `class[s]` is the smallest server in the same rack with the same
+/// free-GPU count that no running or committed placement touches (or `s`
+/// itself). Two such servers are related by a topology automorphism that
+/// fixes every placed job, so swapping them permutes assignments without
+/// changing any water-filled number — the symmetry the canonical-split and
+/// PS-dedup rules exploit.
+fn symmetry_classes(rack_of: &[usize], free: &[usize], touched: &[u32]) -> Vec<usize> {
+    let n = free.len();
+    let mut class: Vec<usize> = (0..n).collect();
+    for i in 0..n {
+        if touched[i] != 0 {
+            continue;
+        }
+        for j in 0..i {
+            if touched[j] == 0 && rack_of[j] == rack_of[i] && free[j] == free[i] {
+                class[i] = j;
+                break;
+            }
+        }
+    }
+    class
+}
+
+/// PS candidates for `split`, in server order, with symmetric duplicates
+/// removed: a server is skipped when an earlier server of the same class
+/// hosts the same worker take (0 for non-workers), because swapping the
+/// two maps the candidate onto the earlier, already-enumerated one.
+fn ps_candidates(
+    split: &[(ServerId, usize)],
+    classes: &[usize],
+    num_servers: usize,
+    stats: &mut BnbStats,
+) -> Vec<Option<ServerId>> {
+    if split.len() == 1 {
+        return vec![None];
+    }
+    let mut take = vec![0usize; num_servers];
+    for &(s, w) in split {
+        take[s.0] = w;
+    }
+    let mut out = Vec::with_capacity(num_servers);
+    let mut seen: Vec<(usize, usize)> = Vec::with_capacity(num_servers);
+    for s in 0..num_servers {
+        let key = (classes[s], take[s]);
+        if seen.contains(&key) {
+            stats.sym_ps_skips += 1;
+            continue;
+        }
+        seen.push(key);
+        out.push(Some(ServerId(s)));
+    }
+    out
+}
+
+/// Search-work counters for one branch (merged across branches afterwards).
+#[derive(Debug, Clone, Copy, Default)]
+struct BnbStats {
+    nodes: u64,
+    leaves: u64,
+    pruned: u64,
+    sym_ps_skips: u64,
+}
+
+impl BnbStats {
+    fn merge(&mut self, other: &BnbStats) {
+        self.nodes += other.nodes;
+        self.leaves += other.leaves;
+        self.pruned += other.pruned;
+        self.sym_ps_skips += other.sym_ps_skips;
+    }
+}
+
+fn wf_sum(a: &WaterfillStats, b: &WaterfillStats) -> WaterfillStats {
+    WaterfillStats {
+        pushes: a.pushes + b.pushes,
+        removes: a.removes + b.removes,
+        jobs_resolved: a.jobs_resolved + b.jobs_resolved,
+        jobs_reused: a.jobs_reused + b.jobs_reused,
+        components_solved: a.components_solved + b.components_solved,
+    }
+}
+
+/// Per-branch water-filling work: the branch estimator's lifetime counters
+/// minus the cloned base's share.
+fn wf_delta(after: &WaterfillStats, before: &WaterfillStats) -> WaterfillStats {
+    WaterfillStats {
+        pushes: after.pushes - before.pushes,
+        removes: after.removes - before.removes,
+        jobs_resolved: after.jobs_resolved - before.jobs_resolved,
+        jobs_reused: after.jobs_reused - before.jobs_reused,
+        components_solved: after.components_solved - before.components_solved,
+    }
+}
+
+/// Read-only state shared by every branch of one `place_batch` call.
+struct BnbContext<'a> {
+    cluster: &'a Cluster,
+    batch: &'a [Job],
+    enumerate_ina: bool,
+    max_evaluations: u64,
+    /// Leaf-evaluation budget ticket counter (shared across branches).
+    evaluations: AtomicU64,
+    /// Bits of the best objective found by any branch so far. Non-negative
+    /// f64 bit patterns order like the floats, so `fetch_min` maintains the
+    /// true minimum; stale reads only weaken pruning, never correctness.
+    best_bound_bits: AtomicU64,
+    link_gbps: f64,
+    rack_of: Vec<usize>,
+}
+
+type BranchResult = (Option<(f64, Vec<(Job, Placement)>)>, BnbStats, WaterfillStats);
+
+fn run_branch(
+    ctx: &BnbContext<'_>,
+    base: &IncrementalEstimator,
+    free: &[usize],
+    touched: &[u32],
+    candidate: &Placement,
+) -> BranchResult {
+    let base_stats = *base.stats();
+    let mut branch = BnbBranch {
+        ctx,
+        free: free.to_vec(),
+        touched: touched.to_vec(),
+        inc: base.clone(),
+        current: Vec::with_capacity(ctx.batch.len()),
+        best: None,
+        stats: BnbStats::default(),
+    };
+    branch.apply(&ctx.batch[0], candidate.clone());
+    let _ = branch.dfs(1);
+    let wf = wf_delta(branch.inc.stats(), &base_stats);
+    (branch.best, branch.stats, wf)
+}
+
+/// One branch's mutable search state: a free-GPU ledger (no panicking
+/// `Cluster` allocate/release round-trips), touch counts for symmetry
+/// detection, and the live incremental estimator.
+struct BnbBranch<'a, 'b> {
+    ctx: &'a BnbContext<'b>,
+    free: Vec<usize>,
+    touched: Vec<u32>,
+    inc: IncrementalEstimator,
+    current: Vec<(Job, Placement)>,
+    best: Option<(f64, Vec<(Job, Placement)>)>,
+    stats: BnbStats,
+}
+
+impl BnbBranch<'_, '_> {
+    /// Committed jobs' objective from the live estimator — the same value,
+    /// to the bit, as the scratch leaf's `batch_comm_time_s`, because the
+    /// incremental state is bit-identical to a from-scratch solve and the
+    /// sum runs in the same (placement) order.
+    fn partial_objective(&self) -> f64 {
+        let state = self.inc.state();
+        let mut total = 0.0;
+        for (job, _) in &self.current {
+            total += state
+                .comm_time_s(job.id, job.gradient_gbits())
+                .unwrap_or(f64::INFINITY);
+        }
+        total
+    }
+
+    /// Admissible lower bound for completing the assignment from job `idx`:
+    /// the committed jobs' current objective (which only grows as more jobs
+    /// contend — water-filled rates are monotone non-increasing in the job
+    /// set) plus each unplaced job's zero-contention best case — 0 if it
+    /// could still fit on one server, else one access-link traversal.
+    fn bound_from(&self, idx: usize, partial: f64) -> f64 {
+        let max_free = self.free.iter().copied().max().unwrap_or(0);
+        let mut bound = partial;
+        for job in &self.ctx.batch[idx..] {
+            if job.gpus > max_free {
+                bound += job.gradient_gbits() / self.ctx.link_gbps;
+            }
+        }
+        bound
+    }
+
+    fn dfs(&mut self, idx: usize) -> ControlFlow<()> {
+        self.stats.nodes += 1;
+        let partial = self.partial_objective();
+        if idx == self.ctx.batch.len() {
+            return self.leaf(partial);
+        }
+        let bound = self.bound_from(idx, partial);
+        // Against the branch-local incumbent `>=` is safe: an equal-bound
+        // subtree cannot contain a *strictly* better leaf, and ties keep
+        // the first-enumerated incumbent. Against the cross-branch bound
+        // only `>` is safe — an equal-objective optimum found earlier in
+        // wall-time by a *later* branch must not cut the subtree holding
+        // the first-in-order optimum.
+        let local_cut = self.best.as_ref().is_some_and(|(b, _)| bound >= *b);
+        let shared = f64::from_bits(self.ctx.best_bound_bits.load(Ordering::Relaxed));
+        if local_cut || bound > shared {
+            self.stats.pruned += 1;
+            return ControlFlow::Continue(());
+        }
+        if self.ctx.evaluations.load(Ordering::Relaxed) >= self.ctx.max_evaluations {
+            return ControlFlow::Break(());
+        }
+        let job = self.ctx.batch[idx].clone();
+        let snapshot = self.free.clone();
+        let classes = symmetry_classes(&self.ctx.rack_of, &snapshot, &self.touched);
+        for_each_split(&snapshot, Some(&classes), job.gpus, &mut |split| {
+            let candidates = ps_candidates(split, &classes, snapshot.len(), &mut self.stats);
+            for ps in candidates {
+                for &ina in ina_options(self.ctx.enumerate_ina, split.len()) {
+                    let mut placement = Placement::new(split.to_vec(), ps);
+                    placement.set_ina_enabled(ina);
+                    self.apply(&job, placement);
+                    let flow = self.dfs(idx + 1);
+                    self.unapply();
+                    flow?;
+                }
+            }
+            ControlFlow::Continue(())
+        })
+    }
+
+    fn leaf(&mut self, obj: f64) -> ControlFlow<()> {
+        // One budget ticket per leaf; tickets past the budget abort the
+        // branch with the incumbent intact.
+        let ticket = self.ctx.evaluations.fetch_add(1, Ordering::Relaxed);
+        if ticket >= self.ctx.max_evaluations {
+            return ControlFlow::Break(());
+        }
+        self.stats.leaves += 1;
+        if self.best.as_ref().is_none_or(|(b, _)| obj < *b) {
+            self.best = Some((obj, self.current.clone()));
+            self.ctx
+                .best_bound_bits
+                .fetch_min(obj.to_bits(), Ordering::Relaxed);
+        }
+        ControlFlow::Continue(())
+    }
+
+    fn apply(&mut self, job: &Job, placement: Placement) {
+        for &(s, w) in placement.workers() {
+            self.free[s.0] -= w;
+            self.touched[s.0] += 1;
+        }
+        for &s in placement.pses() {
+            self.touched[s.0] += 1;
+        }
+        self.inc.push(
+            self.ctx.cluster,
+            PlacedJob::new(job.id, self.ctx.cluster, &placement),
+        );
+        self.current.push((job.clone(), placement));
+    }
+
+    fn unapply(&mut self) {
+        if let Some((_, placement)) = self.current.pop() {
+            self.inc.pop(self.ctx.cluster);
+            for &(s, w) in placement.workers() {
+                self.free[s.0] += w;
+                self.touched[s.0] -= 1;
+            }
+            for &s in placement.pses() {
+                self.touched[s.0] -= 1;
+            }
+        }
+    }
+}
+
+/// The legacy exhaustive DFS, verbatim semantics: full enumeration (no
+/// symmetry, no bound), each leaf re-evaluated from scratch. Kept as the
+/// reference the branch-and-bound is diffed against.
+struct ScratchSearch<'a> {
+    cluster: &'a Cluster,
+    running: &'a [RunningJob],
+    batch: &'a [Job],
+    enumerate_ina: bool,
+    max_evaluations: u64,
+    evaluations: u64,
+    best: Option<(f64, Vec<(Job, Placement)>)>,
+}
+
+impl ScratchSearch<'_> {
+    fn search(&mut self, free: &mut Vec<usize>, current: &mut Vec<(Job, Placement)>, idx: usize) {
+        if self.evaluations >= self.max_evaluations {
+            return;
+        }
+        if idx == self.batch.len() {
+            self.evaluations += 1;
+            let obj = crate::placer::batch_comm_time_s(self.cluster, self.running, current);
+            if self.best.as_ref().is_none_or(|(b, _)| obj < *b) {
+                self.best = Some((obj, current.clone()));
+            }
+            return;
+        }
+        let job = &self.batch[idx];
+        for split in worker_splits(free, job.gpus) {
+            // PS candidates: every server for spanning placements, or the
+            // lone worker server / no PS for single-server placements.
+            let ps_list: Vec<Option<ServerId>> = if split.len() == 1 {
+                vec![None]
+            } else {
+                (0..self.cluster.num_servers())
+                    .map(|s| Some(ServerId(s)))
+                    .collect()
+            };
+            for ps in ps_list {
+                for &ina in ina_options(self.enumerate_ina, split.len()) {
+                    let mut placement = Placement::new(split.clone(), ps);
+                    placement.set_ina_enabled(ina);
+                    for &(s, w) in placement.workers() {
+                        free[s.0] -= w;
+                    }
+                    current.push((job.clone(), placement));
+                    self.search(free, current, idx + 1);
+                    if let Some((_, placement)) = current.pop() {
+                        for &(s, w) in placement.workers() {
+                            free[s.0] += w;
+                        }
+                    }
+                    if self.evaluations >= self.max_evaluations {
+                        return;
+                    }
+                }
+            }
         }
     }
 }
@@ -197,56 +721,148 @@ mod tests {
         Job::builder(JobId(id), ModelKind::Vgg16, gpus).build()
     }
 
+    fn both_modes() -> [ExactMode; 2] {
+        [ExactMode::Bnb, ExactMode::Scratch]
+    }
+
     #[test]
     fn exact_prefers_local_placement_when_possible() {
         let c = cluster(3, 4);
-        let mut p = ExactPlacer::default();
-        let out = p.place_batch(&c, &[], &[job(0, 4)]);
-        assert_eq!(out.placed.len(), 1);
-        // A local placement has zero communication time: strictly optimal.
-        assert!(out.placed[0].1.is_local());
-        assert!(p.evaluations() > 0);
+        for mode in both_modes() {
+            let mut p = ExactPlacer::default().mode(mode);
+            let out = p.place_batch(&c, &[], &[job(0, 4)]);
+            assert_eq!(out.placed.len(), 1);
+            // A local placement has zero communication time: strictly optimal.
+            assert!(out.placed[0].1.is_local());
+            assert!(p.evaluations() > 0);
+        }
     }
 
     #[test]
     fn exact_separates_two_jobs_onto_disjoint_bottlenecks() {
         let c = cluster(4, 1);
-        let mut p = ExactPlacer::default();
-        // Two 2-GPU jobs on four 1-GPU servers: each must span two servers
-        // with a PS; the optimum avoids stacking both PSes on one link.
-        let out = p.place_batch(&c, &[], &[job(0, 2), job(1, 2)]);
-        assert_eq!(out.placed.len(), 2);
-        let ps0 = out.placed[0].1.ps().unwrap();
-        let ps1 = out.placed[1].1.ps().unwrap();
-        assert_ne!(ps0, ps1, "optimal plan spreads PS load");
-        for (j, placement) in &out.placed {
-            placement.validate(&c, j.gpus).unwrap();
+        for mode in both_modes() {
+            let mut p = ExactPlacer::default().mode(mode);
+            // Two 2-GPU jobs on four 1-GPU servers: each must span two servers
+            // with a PS; the optimum avoids stacking both PSes on one link.
+            let out = p.place_batch(&c, &[], &[job(0, 2), job(1, 2)]);
+            assert_eq!(out.placed.len(), 2);
+            let ps0 = out.placed[0].1.ps().unwrap();
+            let ps1 = out.placed[1].1.ps().unwrap();
+            assert_ne!(ps0, ps1, "optimal plan spreads PS load");
+            for (j, placement) in &out.placed {
+                placement.validate(&c, j.gpus).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn exact_keeps_the_first_enumerated_optimum() {
+        // Many placements tie at 0 s on an empty symmetric cluster; the
+        // documented tie-break (first-found in scratch enumeration order)
+        // pins all GPUs on server 0 — in both modes, pinning the canonical
+        // representative choice of the symmetry breaker too.
+        let c = cluster(3, 4);
+        for mode in both_modes() {
+            let mut p = ExactPlacer::default().mode(mode);
+            let out = p.place_batch(&c, &[], &[job(0, 2)]);
+            assert_eq!(
+                out.placed[0].1.workers(),
+                &[(ServerId(0), 2)],
+                "{mode:?} must keep the first-enumerated optimum"
+            );
         }
     }
 
     #[test]
     fn worker_splits_enumerate_all_compositions() {
-        let c = cluster(3, 2);
-        let splits = ExactPlacer::worker_splits(&c, 2);
         // Compositions of 2 over caps (2,2,2): (2),(1,1) over 3 servers =
         // 3 singles + 3 pairs = 6.
+        let splits = worker_splits(&[2, 2, 2], 2);
         assert_eq!(splits.len(), 6);
+    }
+
+    #[test]
+    fn canonical_splits_collapse_interchangeable_servers() {
+        // All three servers are interchangeable (same rack, same free, no
+        // placements): the canonical enumeration keeps exactly (2) on
+        // server 0 and (1,1) on servers 0+1.
+        let classes = symmetry_classes(&[0, 0, 0], &[2, 2, 2], &[0, 0, 0]);
+        assert_eq!(classes, vec![0, 0, 0]);
+        let mut kept = Vec::new();
+        let _ = for_each_split(&[2, 2, 2], Some(&classes), 2, &mut |split| {
+            kept.push(split.to_vec());
+            ControlFlow::Continue(())
+        });
+        assert_eq!(
+            kept,
+            vec![
+                vec![(ServerId(0), 2)],
+                vec![(ServerId(0), 1), (ServerId(1), 1)],
+            ]
+        );
+    }
+
+    #[test]
+    fn touched_servers_break_symmetry() {
+        // Server 1 is touched by a running job: it is not interchangeable
+        // with servers 0/2, so splits over it survive.
+        let classes = symmetry_classes(&[0, 0, 0], &[2, 2, 2], &[0, 1, 0]);
+        assert_eq!(classes, vec![0, 1, 0]);
+        let mut kept = 0;
+        let _ = for_each_split(&[2, 2, 2], Some(&classes), 2, &mut |_| {
+            kept += 1;
+            ControlFlow::Continue(())
+        });
+        // (2@0), (1@0,1@1), (1@0,1@2), (2@1) survive; (2@2) and (1@1,1@2)
+        // collapse onto earlier splits via the 0<->2 swap.
+        assert_eq!(kept, 4);
     }
 
     #[test]
     fn evaluation_budget_is_respected() {
         let c = cluster(4, 2);
-        let mut p = ExactPlacer::new(10);
-        let _ = p.place_batch(&c, &[], &[job(0, 2), job(1, 2)]);
-        assert!(p.evaluations() <= 10);
+        for mode in both_modes() {
+            let mut p = ExactPlacer::new(10).mode(mode);
+            let _ = p.place_batch(&c, &[], &[job(0, 2), job(1, 2)]);
+            assert!(p.evaluations() <= 10, "{mode:?}");
+        }
     }
 
     #[test]
     fn infeasible_batch_is_deferred() {
         let c = cluster(2, 1);
-        let mut p = ExactPlacer::default();
-        let out = p.place_batch(&c, &[], &[job(0, 5)]);
-        assert!(out.placed.is_empty());
-        assert_eq!(out.deferred.len(), 1);
+        for mode in both_modes() {
+            let mut p = ExactPlacer::default().mode(mode);
+            let out = p.place_batch(&c, &[], &[job(0, 5)]);
+            assert!(out.placed.is_empty(), "{mode:?}");
+            assert_eq!(out.deferred.len(), 1, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn bnb_prunes_and_collapses_work() {
+        let c = cluster(4, 2);
+        let batch = [job(0, 3), job(1, 3), job(2, 2)];
+        let mut scratch = ExactPlacer::default().mode(ExactMode::Scratch);
+        let mut bnb = ExactPlacer::default().mode(ExactMode::Bnb);
+        scratch.place_batch(&c, &[], &batch);
+        bnb.place_batch(&c, &[], &batch);
+        assert!(
+            bnb.evaluations() < scratch.evaluations(),
+            "bnb must evaluate fewer leaves ({} vs {})",
+            bnb.evaluations(),
+            scratch.evaluations()
+        );
+        assert!(bnb.perf().counter("exact_pruned_subtrees") > 0);
+        assert!(bnb.perf().counter("exact_sym_ps_skips") > 0);
+        assert_eq!(bnb.perf().timer_count("place_batch"), 1);
+    }
+
+    #[test]
+    fn mode_defaults_from_env_convention() {
+        // Unset or unknown values select bnb (the same "fast by default,
+        // scratch on request" convention as NETPACK_SIM / NETPACK_PKT).
+        assert_eq!(ExactMode::default(), ExactMode::Bnb);
     }
 }

@@ -20,8 +20,11 @@
 //!   paper compares against.
 //! * [`Comb`] — the naive multi-resource combination of §6.4 (Fig. 13).
 //! * [`RandomPlacer`] — a sanity floor.
-//! * [`ExactPlacer`] — exhaustive search over the Table-3 decision space,
+//! * [`ExactPlacer`] — exact search over the Table-3 decision space,
 //!   feasible only at toy scale; stands in for the paper's Gurobi MIP.
+//!   Runs as a pruned branch-and-bound by default, with the legacy
+//!   exhaustive DFS kept as a bit-identical reference
+//!   (`NETPACK_EXACT=bnb|scratch`, see [`ExactMode`]).
 //!
 //! # Example
 //!
@@ -78,7 +81,7 @@ mod prior;
 
 pub use baselines::{FlowBalance, GpuBalance, LeastFragmentation, RandomPlacer};
 pub use dp::{ServerStats, WorkerDp, WorkerPlan};
-pub use exact::ExactPlacer;
+pub use exact::{ExactMode, ExactPlacer};
 pub use knapsack::select_job_subset;
 pub use netpack::{HotSpotTerm, InaPolicy, NetPackConfig, NetPackPlacer, ScoringMode};
 pub use placer::{batch_comm_time_s, BatchOutcome, Placer, RunningJob};

@@ -118,18 +118,31 @@ where
     let mut outcome = BatchOutcome::default();
     for job in batch {
         match place_one(&scratch, job) {
-            Some(placement) => {
-                for &(s, w) in placement.workers() {
-                    scratch
-                        .allocate_gpus(s, w)
-                        .expect("placer proposed an over-committed placement");
-                }
+            Some(placement) if try_allocate(&mut scratch, &placement) => {
                 outcome.placed.push((job.clone(), placement));
             }
-            None => outcome.deferred.push(job.clone()),
+            // No proposal, or an over-committed one: defer. A buggy
+            // placer proposal must not panic the library — the manager
+            // re-validates and re-queues deferred jobs anyway.
+            _ => outcome.deferred.push(job.clone()),
         }
     }
     outcome
+}
+
+/// Allocate every worker of `placement` on the scratch ledger, rolling the
+/// ledger back and returning `false` when any server lacks the free GPUs.
+fn try_allocate(scratch: &mut Cluster, placement: &Placement) -> bool {
+    for (i, &(s, w)) in placement.workers().iter().enumerate() {
+        if scratch.allocate_gpus(s, w).is_err() {
+            for &(s2, w2) in &placement.workers()[..i] {
+                // Releasing what this loop just allocated cannot fail.
+                let _ = scratch.release_gpus(s2, w2);
+            }
+            return false;
+        }
+    }
+    true
 }
 
 /// Shared helper: pick servers from a preference-ordered candidate list
@@ -196,6 +209,76 @@ mod tests {
         assert_eq!(outcome.deferred[0].id, JobId(3));
         assert!(outcome.placement_of(JobId(0)).is_some());
         assert!(outcome.placement_of(JobId(3)).is_none());
+    }
+
+    #[test]
+    fn greedy_batch_defers_overcommitted_proposals_without_panicking() {
+        let c = cluster();
+        // A buggy single-job placer proposing 5 GPUs on a 2-GPU server:
+        // the proposal is deferred, the scratch ledger stays clean, and
+        // later feasible proposals still land.
+        let batch = [job(0, 5), job(1, 2)];
+        let outcome = greedy_batch(&c, &batch, |_, j| {
+            Some(Placement::new(vec![(ServerId(0), j.gpus)], None))
+        });
+        assert_eq!(outcome.deferred.len(), 1);
+        assert_eq!(outcome.deferred[0].id, JobId(0));
+        assert_eq!(outcome.placed.len(), 1);
+        assert_eq!(outcome.placed[0].0.id, JobId(1));
+    }
+
+    #[test]
+    fn greedy_batch_rolls_back_partial_overcommits() {
+        let c = cluster();
+        // Worker list (2@s0, 2@s1, 2@s2, 1@s0): the first three allocations
+        // succeed, the fourth overcommits; all three must be rolled back so
+        // the follow-up job still sees a virgin ledger.
+        let over = Placement::new(
+            vec![(ServerId(0), 2), (ServerId(1), 2), (ServerId(2), 2), (ServerId(0), 1)],
+            None,
+        );
+        let batch = [job(0, 7), job(1, 6)];
+        let mut first = true;
+        let outcome = greedy_batch(&c, &batch, |_, _| {
+            if first {
+                first = false;
+                Some(over.clone())
+            } else {
+                Some(Placement::new(
+                    vec![(ServerId(0), 2), (ServerId(1), 2), (ServerId(2), 2)],
+                    Some(ServerId(0)),
+                ))
+            }
+        });
+        assert_eq!(outcome.deferred.len(), 1);
+        assert_eq!(outcome.placed.len(), 1, "rollback must free the GPUs");
+    }
+
+    #[test]
+    fn infinite_rate_jobs_contribute_exactly_zero() {
+        // Degenerate placement: spanning workers but no PS yields no
+        // network components, so the estimator reports an infinite rate
+        // and the objective must count exactly 0 s for it (not NaN, not a
+        // rounding residue). This pins the tie-break the exact search
+        // relies on: a degenerate job can tie with, never beat, a local
+        // placement that also scores 0.
+        let c = cluster();
+        let no_ps = Placement::new(vec![(ServerId(0), 1), (ServerId(1), 1)], None);
+        let placed = vec![(job(0, 2), no_ps.clone())];
+        let obj = batch_comm_time_s(&c, &[], &placed);
+        assert_eq!(obj.to_bits(), 0.0f64.to_bits());
+
+        // Mixed batch: the infinite-rate job's 0.0 must leave the finite
+        // job's contribution bit-identical to what it scores alone.
+        let spanning = Placement::new(vec![(ServerId(1), 1), (ServerId(2), 1)], Some(ServerId(0)));
+        let alone = batch_comm_time_s(&c, &[], &[(job(1, 2), spanning.clone())]);
+        let mixed = batch_comm_time_s(
+            &c,
+            &[],
+            &[(job(0, 2), no_ps), (job(1, 2), spanning)],
+        );
+        assert!(alone.is_finite() && alone > 0.0);
+        assert_eq!(mixed.to_bits(), alone.to_bits());
     }
 
     #[test]

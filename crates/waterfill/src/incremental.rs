@@ -229,6 +229,24 @@ impl IncrementalEstimator {
         let Some(idx) = self.jobs.iter().position(|j| j.id() == id) else {
             return false;
         };
+        self.remove_at(cluster, idx);
+        true
+    }
+
+    /// Remove the most recently pushed job — the exact inverse of
+    /// [`push`](Self::push), which is what a depth-first search needs to
+    /// backtrack one decision. Counted under
+    /// [`removes`](WaterfillStats::removes). Returns the popped job's id,
+    /// or `None` when the estimate is empty.
+    pub fn pop(&mut self, cluster: &Cluster) -> Option<JobId> {
+        let idx = self.jobs.len().checked_sub(1)?;
+        let id = self.jobs[idx].id();
+        self.remove_at(cluster, idx);
+        Some(id)
+    }
+
+    fn remove_at(&mut self, cluster: &Cluster, idx: usize) {
+        let id = self.jobs[idx].id();
         self.stats.removes += 1;
         let removed_nodes = self.job_nodes[idx].clone();
         // Pre-removal indices of the network jobs sharing the removed job's
@@ -260,7 +278,7 @@ impl IncrementalEstimator {
             // Local job: it touched no resource, so every cached component
             // survives verbatim.
             self.stats.jobs_reused += self.network_job_count();
-            return true;
+            return;
         }
 
         // Union-find supports no deletion: rebuild it over the remaining
@@ -309,7 +327,6 @@ impl IncrementalEstimator {
             self.stats.jobs_resolved += refs.len() as u64;
         }
         self.stats.jobs_reused += self.network_job_count() - co.len() as u64;
-        true
     }
 
     /// Re-tune a job in place: remove any existing job with `job`'s id,
@@ -507,6 +524,39 @@ mod tests {
         inc.remove(&c, JobId(9));
         assert_eq!(inc.stats().jobs_resolved, resolved_before);
         assert_state_eq(inc.state(), &estimate(&c, &[net]));
+    }
+
+    #[test]
+    fn pop_is_the_exact_inverse_of_push() {
+        // The exact placer's backtracking pattern: push a candidate, recurse,
+        // pop. After every pop the state must be bit-identical to a
+        // from-scratch solve over the surviving insertion order.
+        let c = cluster(2, 4, 60.0);
+        let base = [
+            job(0, &c, vec![(0, 2), (4, 2)], 1),
+            job(1, &c, vec![(2, 1), (5, 1)], 6),
+        ];
+        let mut inc = IncrementalEstimator::new(&c, &base);
+        let snapshot = inc.state().clone();
+        inc.push(&c, job(2, &c, vec![(3, 4)], 7));
+        inc.push(&c, job(3, &c, vec![(1, 1), (2, 1)], 0));
+        assert_eq!(inc.pop(&c), Some(JobId(3)));
+        assert_state_eq(
+            inc.state(),
+            &estimate(&c, &[base[0].clone(), base[1].clone(), job(2, &c, vec![(3, 4)], 7)]),
+        );
+        assert_eq!(inc.pop(&c), Some(JobId(2)));
+        assert_state_eq(inc.state(), &snapshot);
+        assert_eq!(inc.num_jobs(), 2);
+        assert_eq!(inc.stats().removes, 2);
+    }
+
+    #[test]
+    fn pop_on_empty_returns_none() {
+        let c = cluster(1, 3, 500.0);
+        let mut inc = IncrementalEstimator::new(&c, &[]);
+        assert_eq!(inc.pop(&c), None);
+        assert_eq!(inc.stats().removes, 0);
     }
 
     #[test]

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Regenerate results/BENCH_placement.json — the machine-readable placement
+# benchmark ledger (JSON Lines, schema in DESIGN.md §3.10).
+#
+# Runs the two placement-time benchmarks with NETPACK_BENCH_JSON set so
+# every measured cell appends a row, then validates the file:
+#   * table_mip_vs_dp      — exact bnb vs scratch vs DP per instance
+#   * fig10_placement_time — NetPack DP wall-clock per (servers, jobs) cell
+#
+# Usage: scripts/bench.sh [output.json]   (default results/BENCH_placement.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${1:-results/BENCH_placement.json}
+mkdir -p "$(dirname "$out")"
+
+cargo build --release -p netpack-bench
+
+rm -f "$out"
+echo "bench: table_mip_vs_dp (bnb + capped scratch + dp)"
+NETPACK_BENCH_JSON="$out" ./target/release/table_mip_vs_dp > /dev/null
+echo "bench: fig10_placement_time (quick grid)"
+NETPACK_BENCH_JSON="$out" NETPACK_QUICK=1 ./target/release/fig10_placement_time > /dev/null
+
+./target/release/bench_json_check "$out"

@@ -5,8 +5,10 @@
 #
 # Runs the release build, clippy with warnings denied, netpack-lint (the
 # determinism/numeric-safety static pass; any finding not grandfathered in
-# lint-baseline.txt fails), the full workspace test suite, and the
-# doctests. Keep this list in sync with README.md.
+# lint-baseline.txt fails), the exact-placer two-mode smoke
+# (NETPACK_EXACT=bnb vs scratch must be byte-identical), the full
+# workspace test suite, the doctests, and the fig9/fig14 two-mode smokes.
+# Keep this list in sync with README.md.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,6 +20,26 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo run -p netpack-lint (new findings vs lint-baseline.txt fail)"
 cargo run -q -p netpack-lint
+
+exact_dir=$(mktemp -d)
+pkt_dir=$(mktemp -d)
+cleanup() { rm -rf "$exact_dir" "$pkt_dir"; }
+trap cleanup EXIT
+
+echo "==> exact smoke: branch-and-bound vs scratch DFS must match (stdout + CSV)"
+exact_bnb=$(NETPACK_SMOKE=1 NETPACK_EXACT=bnb NETPACK_CSV_DIR="$exact_dir/bnb" \
+    ./target/release/table_mip_vs_dp)
+exact_scr=$(NETPACK_SMOKE=1 NETPACK_EXACT=scratch NETPACK_CSV_DIR="$exact_dir/scratch" \
+    ./target/release/table_mip_vs_dp)
+if ! diff <(printf '%s\n' "$exact_bnb") <(printf '%s\n' "$exact_scr"); then
+    echo "check.sh: exact smoke DIVERGED between NETPACK_EXACT modes (stdout)" >&2
+    exit 1
+fi
+if ! diff -r "$exact_dir/bnb" "$exact_dir/scratch"; then
+    echo "check.sh: exact smoke DIVERGED between NETPACK_EXACT modes (CSV)" >&2
+    exit 1
+fi
+printf '%s\n' "$exact_bnb"
 
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
@@ -37,8 +59,6 @@ fi
 printf '%s\n' "$smoke_inc"
 
 echo "==> fig14 smoke: fast vs scratch packet path must match (stdout + CSV)"
-pkt_dir=$(mktemp -d)
-trap 'rm -rf "$pkt_dir"' EXIT
 pkt_fast=$(NETPACK_PKT=fast NETPACK_CSV_DIR="$pkt_dir/fast" \
     ./target/release/fig14_aggregation_ratio)
 pkt_scr=$(NETPACK_PKT=scratch NETPACK_CSV_DIR="$pkt_dir/scratch" \
