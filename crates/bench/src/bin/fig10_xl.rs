@@ -1,0 +1,159 @@
+//! fig10_xl — warehouse-scale extension of Fig. 10: place a 100-job batch
+//! on a 50K-server three-tier fat-tree (32 pods x 49 racks x 32 servers x
+//! 4 GPUs = 50 176 servers) and record wall-clock per topology mode.
+//!
+//! This is the acceptance benchmark for the flat-topology placement path
+//! (DESIGN.md §3.11): the `flat` mode must finish the batch in under a
+//! second on a single socket, and both modes must produce bit-identical
+//! placements. Rows land in the JSON ledger (`bench: "fig10_xl"`) when
+//! `NETPACK_BENCH_JSON` is set, via `scripts/bench.sh`.
+//!
+//! Knobs:
+//! * `NETPACK_TOPO=flat|struct` — run only one mode (default: both, with
+//!   an in-binary equality assertion across them).
+//! * `NETPACK_SMOKE=1` — shrink to a 160-server tree / 30 jobs and print
+//!   only a deterministic placement digest (no timings, no counters), so
+//!   `scripts/check.sh` can byte-diff the two modes' stdout.
+
+use netpack_bench::{emit_bench_row, BenchRow};
+use netpack_metrics::{Stopwatch, TextTable};
+use netpack_placement::{
+    batch_comm_time_s, BatchOutcome, NetPackConfig, NetPackPlacer, Placer,
+};
+use netpack_topology::{Cluster, ClusterSpec, JobId, TopoMode};
+use netpack_workload::{Job, ModelKind};
+
+/// Deterministic mixed batch of spanning jobs (same generator as Fig. 10).
+fn batch(jobs: usize, max_gpus: usize, seed: u64) -> Vec<Job> {
+    let mut state = seed.max(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..jobs)
+        .map(|i| {
+            let gpus = (next() % max_gpus as u64).max(1) as usize;
+            let model = ModelKind::ALL[(next() % 6) as usize];
+            Job::builder(JobId(i as u64), model, gpus).build()
+        })
+        .collect()
+}
+
+fn modes() -> Vec<(&'static str, TopoMode)> {
+    match std::env::var("NETPACK_TOPO").as_deref() {
+        Ok("struct") => vec![("struct", TopoMode::Struct)],
+        Ok("flat") => vec![("flat", TopoMode::Flat)],
+        _ => vec![("struct", TopoMode::Struct), ("flat", TopoMode::Flat)],
+    }
+}
+
+/// Stable outcome fingerprint used both for the cross-mode assertion and
+/// the smoke digest.
+fn digest(outcome: &BatchOutcome) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "placed={} deferred={}\n",
+        outcome.placed.len(),
+        outcome.deferred.len()
+    ));
+    for (job, p) in &outcome.placed {
+        let workers: Vec<String> = p
+            .workers()
+            .iter()
+            .map(|&(s, w)| format!("{}x{w}", s.0))
+            .collect();
+        let pses: Vec<String> = p.pses().iter().map(|s| s.0.to_string()).collect();
+        out.push_str(&format!(
+            "job {}: workers=[{}] ps=[{}] ina={}\n",
+            job.id.0,
+            workers.join(","),
+            pses.join(","),
+            p.ina_enabled()
+        ));
+    }
+    let deferred: Vec<String> = outcome.deferred.iter().map(|j| j.id.0.to_string()).collect();
+    out.push_str(&format!("deferred=[{}]\n", deferred.join(",")));
+    out
+}
+
+fn main() {
+    let smoke = std::env::var("NETPACK_SMOKE").is_ok_and(|v| v != "0");
+    // 32 pods x 49 racks x 32 servers x 4 GPUs = 50 176 servers; the smoke
+    // tree keeps three tiers (4 pods x 5 racks x 8 servers) at 160 servers.
+    let (pods, racks_per_pod, servers_per_rack, jobs) =
+        if smoke { (4, 5, 8, 30) } else { (32, 49, 32, 100) };
+    let spec = ClusterSpec {
+        racks: pods * racks_per_pod,
+        servers_per_rack,
+        gpus_per_server: 4,
+        racks_per_pod: Some(racks_per_pod),
+        ..ClusterSpec::paper_default()
+    };
+    let servers = spec.num_servers();
+    let b = batch(jobs, 32, 7);
+
+    if smoke {
+        // Digest only — `scripts/check.sh` byte-diffs this output between
+        // NETPACK_TOPO=flat and NETPACK_TOPO=struct runs, so nothing
+        // mode- or time-dependent may print.
+        let cluster = Cluster::new(spec);
+        let mut placer = NetPackPlacer::default();
+        let outcome = placer.place_batch(&cluster, &[], &b);
+        let objective = batch_comm_time_s(&cluster, &[], &outcome.placed);
+        println!("fig10_xl smoke digest (servers={servers}, jobs={jobs})");
+        print!("{}", digest(&outcome));
+        println!("objective_bits={:#018x}", objective.to_bits());
+        return;
+    }
+
+    println!("fig10_xl — 100-job batch on a {servers}-server three-tier fat-tree\n");
+    let mut table = TextTable::new(vec!["topo", "total (s)", "per-job (s)", "placed", "deferred"]);
+    let modes = modes();
+    let mut outcomes: Vec<(&'static str, BatchOutcome)> = Vec::new();
+    for &(mode_name, mode) in &modes {
+        let cluster = Cluster::new(spec.clone());
+        let mut placer = NetPackPlacer::new(NetPackConfig {
+            topo: mode,
+            ..NetPackConfig::default()
+        });
+        let start = Stopwatch::start();
+        let outcome = placer.place_batch(&cluster, &[], &b);
+        let elapsed = start.elapsed().as_secs_f64();
+        let placed = outcome.placed.len().max(1);
+        emit_bench_row(&BenchRow {
+            bench: "fig10_xl",
+            instance: format!("servers={servers}/jobs={jobs}"),
+            mode: mode_name.to_string(),
+            wall_s: elapsed,
+            evals: placer.perf().counter("plans_considered"),
+            nodes: placer.perf().counter("dp_candidates_offered"),
+            pruned: placer
+                .perf()
+                .counter("dp_candidates_offered")
+                .saturating_sub(placer.perf().counter("dp_candidates_kept")),
+        });
+        table.row(vec![
+            mode_name.to_string(),
+            format!("{elapsed:.3}"),
+            format!("{:.2e}", elapsed / placed as f64),
+            outcome.placed.len().to_string(),
+            outcome.deferred.len().to_string(),
+        ]);
+        println!("perf counters ({mode_name}):");
+        println!("{}", placer.take_perf().to_table().render());
+        outcomes.push((mode_name, outcome));
+    }
+    println!("{table}");
+    if let [(a_name, a), (b_name, b)] = outcomes.as_slice() {
+        assert_eq!(
+            digest(a),
+            digest(b),
+            "placements diverged between {a_name} and {b_name} topology modes"
+        );
+        println!("cross-check: {a_name} and {b_name} placements are identical");
+    }
+    println!("paper scale context: Fig. 10 stops at 10K servers; this cell extends the");
+    println!("claim to a 50K-server warehouse with the flat indexed topology path.");
+}

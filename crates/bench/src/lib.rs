@@ -540,6 +540,25 @@ mod tests {
     }
 
     #[test]
+    fn fig10_xl_row_shape_passes_the_validator() {
+        // The exact row shape the fig10_xl binary emits per topology mode
+        // (DESIGN.md §3.11): evals = plans considered, nodes = DP
+        // candidates offered, pruned = offered - kept.
+        for mode in ["struct", "flat"] {
+            let row = BenchRow {
+                bench: "fig10_xl",
+                instance: "servers=50176/jobs=100".to_string(),
+                mode: mode.to_string(),
+                wall_s: 0.164,
+                evals: 1234,
+                nodes: 5_017_600,
+                pruned: 5_000_000,
+            };
+            assert_eq!(validate_bench_jsonl(&row.to_json()), Ok(1));
+        }
+    }
+
+    #[test]
     fn bench_row_json_escapes_strings() {
         let row = BenchRow {
             instance: "weird \"quote\" \\ tab\t".to_string(),

@@ -87,6 +87,10 @@ pub struct JobManager {
     /// contract with from-scratch [`estimate`] depends on it.
     tracker: Option<IncrementalEstimator>,
     tracker_ops: Vec<TrackerOp>,
+    /// Arena for the per-epoch running-jobs view handed to the placer,
+    /// reused across epochs (placements are cloned into it; the epoch
+    /// loop itself allocates no fresh vector).
+    running_view: Vec<RunningJob>,
 }
 
 impl fmt::Debug for JobManager {
@@ -112,6 +116,7 @@ impl JobManager {
             index: BTreeMap::new(),
             tracker: None,
             tracker_ops: Vec::new(),
+            running_view: Vec::new(),
         }
     }
 
@@ -164,18 +169,17 @@ impl JobManager {
         // tie-breaks (the knapsack subset selection is order-sensitive
         // under exact value ties).
         batch.sort_by(|a, b| b.value.total_cmp(&a.value).then(a.id.cmp(&b.id)));
-        let running_view: Vec<RunningJob> = self
-            .running
-            .iter()
-            .map(|(j, p)| RunningJob {
-                id: j.id,
-                gradient_gbits: j.gradient_gbits(),
-                placement: p.clone(),
-            })
-            .collect();
+        let mut running_view = std::mem::take(&mut self.running_view);
+        running_view.clear();
+        running_view.extend(self.running.iter().map(|(j, p)| RunningJob {
+            id: j.id,
+            gradient_gbits: j.gradient_gbits(),
+            placement: p.clone(),
+        }));
         let outcome = self
             .placer
             .place_batch(&self.cluster, &running_view, &batch);
+        self.running_view = running_view;
         for (job, placement) in &outcome.placed {
             placement
                 .validate(&self.cluster, job.gpus)

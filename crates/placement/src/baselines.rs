@@ -40,12 +40,13 @@ impl Placer for GpuBalance {
         _running: &[RunningJob],
         batch: &[Job],
     ) -> BatchOutcome {
-        greedy_batch(cluster, batch, |scratch, job| {
-            let mut order: Vec<ServerId> = scratch.servers().iter().map(|s| s.id()).collect();
+        greedy_batch(cluster, batch, |scratch, job, order| {
+            order.clear();
+            order.extend(scratch.servers().iter().map(|s| s.id()));
             order.sort_by_key(|&s| {
                 std::cmp::Reverse(scratch.server(s).expect("server").gpus_free())
             });
-            place_by_order(scratch, &order, job)
+            place_by_order(scratch, order, job)
         })
     }
 }
@@ -121,13 +122,15 @@ impl Placer for LeastFragmentation {
         _running: &[RunningJob],
         batch: &[Job],
     ) -> BatchOutcome {
-        greedy_batch(cluster, batch, |scratch, job| {
-            let mut order: Vec<ServerId> = scratch
-                .servers()
-                .iter()
-                .filter(|s| s.gpus_free() > 0)
-                .map(|s| s.id())
-                .collect();
+        greedy_batch(cluster, batch, |scratch, job, order| {
+            order.clear();
+            order.extend(
+                scratch
+                    .servers()
+                    .iter()
+                    .filter(|s| s.gpus_free() > 0)
+                    .map(|s| s.id()),
+            );
             // Partially-used servers first (ascending free GPUs among
             // used ones), then untouched servers.
             order.sort_by_key(|&s| {
@@ -135,7 +138,7 @@ impl Placer for LeastFragmentation {
                 let untouched = srv.gpus_used() == 0;
                 (untouched, srv.gpus_free())
             });
-            place_by_order(scratch, &order, job)
+            place_by_order(scratch, order, job)
         })
     }
 }

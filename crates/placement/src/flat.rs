@@ -1,0 +1,664 @@
+//! Flat-topology placement path (`NETPACK_TOPO=flat`, the default).
+//!
+//! The struct path in `netpack.rs` clones the cluster and walks
+//! `&[Server]` slices per candidate; comfortable at 256 servers, hopeless
+//! at 50k. This module re-implements the *mechanics* of `place_one` /
+//! `place_batch` over [`FlatTopology`]'s integer-indexed arrays while
+//! keeping the *algorithm* — every comparison, every float operation, every
+//! tie-break — identical, so both modes return bit-identical placements
+//! (`DESIGN.md` §3.11; pinned by the `flat_struct_equivalence` property
+//! tests and the `scripts/check.sh` smoke byte-diff). Three mechanisms
+//! carry the speedup:
+//!
+//! 1. **Per-pod sharded candidate selection.** Each pod's contiguous
+//!    server range runs its own [`CandidateFilter`] via `parallel_sweep`;
+//!    shard results merge pod-ascending. Selection is a top-K cut of a
+//!    totally ordered set, so sharding is *exactly* equal to the
+//!    sequential scan, not merely equivalent.
+//! 2. **Class-deduplicated PS scoring.** For a fixed plan, the score of a
+//!    PS candidate outside the plan's racks is a pure function of
+//!    `(flows, avail, rack uplink flows, rack uplink capacity)`. Servers
+//!    are bucketed by that key once per job; each plan then scores one
+//!    representative per class plus every server in the plan's own racks,
+//!    collapsing ~50k evaluations to a few hundred. The winner under
+//!    (max score, min server id) equals the reference's
+//!    first-strictly-greater scan.
+//! 3. **Arena reuse.** All per-job and per-plan scratch (class tables,
+//!    stamp masks, worker lists) lives in [`FlatBatch`] and is reused
+//!    across the whole batch; the hot loop allocates nothing and the
+//!    cluster is never cloned — worker commitment is a private integer
+//!    ledger.
+
+use crate::dp::{ServerStats, WorkerDp, WorkerPlan};
+use crate::knapsack::select_job_subset;
+use crate::netpack::{NetPackPlacer, ScoringMode};
+use crate::placer::{BatchOutcome, RunningJob};
+use crate::select::CandidateFilter;
+use netpack_metrics::{parallel_sweep, PerfCounters, Stopwatch};
+use netpack_model::Placement;
+use netpack_topology::{Cluster, FlatTopology, LinkId, RackId, ServerId};
+use netpack_waterfill::{estimate, IncrementalEstimator, PlacedJob, SteadyState};
+use netpack_workload::Job;
+
+/// Mixes a 64-bit word (splitmix64 finalizer) — the class-table hash.
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Key under which two servers are interchangeable as *ordinary* PS
+/// candidates (outside every plan rack) for one steady state: the score is
+/// a pure function of these four fields plus plan-wide constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ClassKey {
+    /// Steady-state flows on the server's access link.
+    flows: u32,
+    /// Bit pattern of the server's residual access bandwidth.
+    avail_bits: u64,
+    /// Existing flows on the server's rack uplink.
+    fc_up: u32,
+    /// Bit pattern of the rack uplink capacity (uniform today; keyed so
+    /// heterogeneous racks can never silently break the dedup).
+    up_bits: u64,
+}
+
+impl ClassKey {
+    fn hash(&self) -> u64 {
+        let a = mix64(u64::from(self.flows) ^ self.avail_bits.rotate_left(17));
+        mix64(a ^ u64::from(self.fc_up).rotate_left(43) ^ self.up_bits)
+    }
+}
+
+/// Batch-lifetime state of the flat placement path: the lowered topology,
+/// the private GPU ledger, and every scratch arena the hot loops reuse.
+pub(crate) struct FlatBatch {
+    topo: FlatTopology,
+    /// Free GPUs per server — the flat path's own ledger; the `Cluster`
+    /// is never cloned or mutated.
+    gpus_free: Vec<u32>,
+    /// `0..num_pods`, the `parallel_sweep` cell list.
+    pods: Vec<usize>,
+    // -- per-job class table (rebuilt by `build_classes`) --
+    /// Existing uplink flows per rack for the current steady state.
+    rack_fc: Vec<u32>,
+    /// Open-addressing slots holding `class id + 1` (0 = empty).
+    class_slots: Vec<u32>,
+    slot_mask: usize,
+    classes: Vec<ClassKey>,
+    /// Member count per class (build scratch), then reused as cursors.
+    class_count: Vec<u32>,
+    class_of: Vec<u32>,
+    /// Prefix offsets into `members`, one past the end per class.
+    class_start: Vec<u32>,
+    /// Server ids grouped by class, ascending within each class.
+    members: Vec<u32>,
+    // -- per-plan scratch (stamped, never cleared) --
+    chosen_stamp: Vec<u32>,
+    rack_stamp: Vec<u32>,
+    stamp: u32,
+    rack_workers: Vec<(RackId, u32)>,
+}
+
+impl FlatBatch {
+    pub(crate) fn new(cluster: &Cluster) -> Self {
+        let topo = FlatTopology::new(cluster);
+        let ns = topo.num_servers();
+        let nr = topo.num_racks();
+        let gpus_free: Vec<u32> = cluster
+            .servers()
+            .iter()
+            .map(|s| s.gpus_free() as u32)
+            .collect();
+        let pods: Vec<usize> = (0..topo.num_pods()).collect();
+        let cap = (2 * ns.max(1)).next_power_of_two();
+        FlatBatch {
+            topo,
+            gpus_free,
+            pods,
+            rack_fc: Vec::with_capacity(nr),
+            class_slots: vec![0; cap],
+            slot_mask: cap - 1,
+            classes: Vec::new(),
+            class_count: Vec::new(),
+            class_of: vec![0; ns],
+            class_start: Vec::new(),
+            members: vec![0; ns],
+            chosen_stamp: vec![0; ns],
+            rack_stamp: vec![0; nr],
+            stamp: 0,
+            rack_workers: Vec::new(),
+        }
+    }
+
+    /// Debit the ledger for a placement. Returns `false` (committing
+    /// nothing) if any worker would overdraw — the DP guarantees this
+    /// never happens, but the ledger refuses rather than panics.
+    fn commit(&mut self, placement: &Placement) -> bool {
+        let fits = placement
+            .workers()
+            .iter()
+            .all(|&(s, w)| w <= self.gpus_free[s.0] as usize);
+        if !fits {
+            return false;
+        }
+        for &(s, w) in placement.workers() {
+            self.gpus_free[s.0] -= w as u32;
+        }
+        true
+    }
+
+    /// Bucket every server by [`ClassKey`] for the current steady state.
+    /// Two passes plus one open-addressing probe per server; members end
+    /// up grouped per class in ascending server-id order.
+    fn build_classes(&mut self, cluster: &Cluster, state: &SteadyState) {
+        let ns = self.topo.num_servers();
+        let nr = self.topo.num_racks();
+        self.rack_fc.clear();
+        for r in 0..nr {
+            self.rack_fc
+                .push(state.link_flows(LinkId::RackUplink(RackId(r)), cluster));
+        }
+        self.class_slots.fill(0);
+        self.classes.clear();
+        self.class_count.clear();
+        for s in 0..ns {
+            let rack = self.topo.rack_of(s);
+            let key = ClassKey {
+                flows: state.server_flows(ServerId(s)),
+                avail_bits: state.server_available_gbps(ServerId(s)).to_bits(),
+                fc_up: self.rack_fc[rack],
+                up_bits: self.topo.rack_uplink_gbps(rack).to_bits(),
+            };
+            let mut slot = key.hash() as usize & self.slot_mask;
+            let cid = loop {
+                match self.class_slots[slot] {
+                    0 => {
+                        let cid = self.classes.len() as u32;
+                        self.class_slots[slot] = cid + 1;
+                        self.classes.push(key);
+                        self.class_count.push(0);
+                        break cid;
+                    }
+                    v => {
+                        let cid = v - 1;
+                        if self.classes[cid as usize] == key {
+                            break cid;
+                        }
+                        slot = (slot + 1) & self.slot_mask;
+                    }
+                }
+            };
+            self.class_count[cid as usize] += 1;
+            self.class_of[s] = cid;
+        }
+        self.class_start.clear();
+        let mut acc = 0u32;
+        for cursor in &mut self.class_count {
+            self.class_start.push(acc);
+            let count = *cursor;
+            // Reuse the count slot as the fill cursor for pass two.
+            *cursor = acc;
+            acc += count;
+        }
+        self.class_start.push(acc);
+        for s in 0..ns {
+            let cid = self.class_of[s] as usize;
+            self.members[self.class_count[cid] as usize] = s as u32;
+            self.class_count[cid] += 1;
+        }
+    }
+
+    /// Stamp one plan's chosen servers and racks and rebuild the per-rack
+    /// worker totals (first-seen order, as the reference computes them).
+    /// Returns the stamp identifying this plan in the stamp arenas.
+    fn begin_plan(&mut self, plan: &WorkerPlan) -> u32 {
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            self.chosen_stamp.fill(0);
+            self.rack_stamp.fill(0);
+            self.stamp = 1;
+        }
+        let stamp = self.stamp;
+        self.rack_workers.clear();
+        for &sid in &plan.servers {
+            self.chosen_stamp[sid.0] = stamp;
+            let r = RackId(self.topo.rack_of(sid.0));
+            let w = self.gpus_free[sid.0];
+            match self.rack_workers.iter_mut().find(|(rr, _)| *rr == r) {
+                Some(e) => e.1 += w,
+                None => {
+                    self.rack_workers.push((r, w));
+                    self.rack_stamp[r.0] = stamp;
+                }
+            }
+        }
+        stamp
+    }
+}
+
+impl NetPackPlacer {
+    /// Score one PS candidate for one plan — the exact float operations of
+    /// the reference scorer, fed from the flat ledger and stamp arenas.
+    #[allow(clippy::too_many_arguments)]
+    fn score_candidate_flat(
+        &self,
+        fb: &FlatBatch,
+        cluster: &Cluster,
+        state: &SteadyState,
+        capacity: f64,
+        plan: &WorkerPlan,
+        sid: usize,
+        stamp: u32,
+    ) -> f64 {
+        let chosen = fb.chosen_stamp[sid] == stamp;
+        let eps = u32::from(!chosen);
+        let own_workers = if chosen { fb.gpus_free[sid] } else { 0 };
+        let s_flows = state.server_flows(ServerId(sid)) + own_workers;
+        let f_max = plan.max_flows.max(s_flows + eps);
+        let avail = state.server_available_gbps(ServerId(sid));
+        let base = plan.value + avail - (capacity - avail) / (f64::from(s_flows + eps) + 1.0);
+        let term = self.hotspot_term(cluster, state, &fb.rack_workers, ServerId(sid), f_max);
+        base + term
+    }
+
+    /// Best `(score, PS server)` of one plan under (max score, min id) —
+    /// equal to the reference's ascending first-strictly-greater scan.
+    /// Servers in the plan's racks are scored individually; everyone else
+    /// is covered by one representative per [`ClassKey`] class (the
+    /// lowest-id member outside the plan's racks). `evals` counts actual
+    /// score evaluations.
+    fn score_plan_flat(
+        &self,
+        fb: &mut FlatBatch,
+        cluster: &Cluster,
+        state: &SteadyState,
+        capacity: f64,
+        plan: &WorkerPlan,
+        evals: &mut u64,
+    ) -> Option<(f64, ServerId)> {
+        let stamp = fb.begin_plan(plan);
+        let mut best: Option<(f64, usize)> = None;
+        let consider = |score: f64, sid: usize, best: &mut Option<(f64, usize)>| {
+            let wins = match *best {
+                None => true,
+                Some((b, bsid)) => score > b || (score == b && sid < bsid),
+            };
+            if wins {
+                *best = Some((score, sid));
+            }
+        };
+        // Servers in the plan's racks: hot-spot geometry varies per
+        // server, score each one.
+        for ri in 0..fb.rack_workers.len() {
+            let rack = fb.rack_workers[ri].0;
+            for sid in fb.topo.rack_server_range(rack.0) {
+                let score = self.score_candidate_flat(fb, cluster, state, capacity, plan, sid, stamp);
+                *evals += 1;
+                consider(score, sid, &mut best);
+            }
+        }
+        // Everyone else: one representative per class. All members of a
+        // class outside the plan's racks share one score bit pattern, and
+        // the lowest-id one is the only candidate (min id) among them.
+        for cid in 0..fb.classes.len() {
+            let start = fb.class_start[cid] as usize;
+            let end = fb.class_start[cid + 1] as usize;
+            let rep = fb.members[start..end]
+                .iter()
+                .map(|&m| m as usize)
+                .find(|&m| fb.rack_stamp[fb.topo.rack_of(m)] != stamp);
+            if let Some(sid) = rep {
+                let score = self.score_candidate_flat(fb, cluster, state, capacity, plan, sid, stamp);
+                *evals += 1;
+                consider(score, sid, &mut best);
+            }
+        }
+        best.map(|(score, sid)| (score, ServerId(sid)))
+    }
+
+    /// `place_one` over the flat arrays: identical algorithm, integer
+    /// indices, pod-sharded selection, deduplicated scoring.
+    fn place_one_flat(
+        &self,
+        fb: &mut FlatBatch,
+        cluster: &Cluster,
+        state: &SteadyState,
+        job: &Job,
+        perf: &mut PerfCounters,
+    ) -> Option<Placement> {
+        let n = fb.topo.num_servers();
+        // Single-server shortcut: tightest fit, ties toward the most
+        // residual bandwidth, first wins (= the reference's `min_by`).
+        let mut single: Option<(usize, f64, usize)> = None;
+        for s in 0..n {
+            let free = fb.gpus_free[s] as usize;
+            if free < job.gpus {
+                continue;
+            }
+            let d = free - job.gpus;
+            let avail = state.server_available_gbps(ServerId(s));
+            let wins = match single {
+                None => true,
+                Some((bd, bavail, _)) => {
+                    d < bd
+                        || (d == bd
+                            && avail.total_cmp(&bavail) == std::cmp::Ordering::Greater)
+                }
+            };
+            if wins {
+                single = Some((d, avail, s));
+            }
+        }
+        if let Some((_, _, s)) = single {
+            return Some(Placement::local(ServerId(s), job.gpus));
+        }
+
+        // Pod-sharded candidate selection feeding the same pruned DP as
+        // the struct path (see `CandidateFilter` for why sharding and
+        // pruning are exactly placement-preserving).
+        let capacity = cluster.spec().server_link_gbps;
+        let gps = cluster.spec().gpus_per_server;
+        let slack = gps;
+        let fs_max = self.config.flow_dimension.then_some(self.config.fs_max);
+        let select_start = Stopwatch::start();
+        let filter = {
+            let topo = &fb.topo;
+            let gpus_free = &fb.gpus_free;
+            let shards = parallel_sweep(&fb.pods, |&pod| {
+                let mut shard = CandidateFilter::new(gps, job.gpus, slack, fs_max);
+                for s in topo.pod_server_range(pod) {
+                    let avail = state.server_available_gbps(ServerId(s));
+                    let flows = state.server_flows(ServerId(s));
+                    shard.offer(ServerStats {
+                        id: ServerId(s),
+                        gpus_free: gpus_free[s] as usize,
+                        value: Self::server_value(capacity, avail, flows),
+                        flows,
+                    });
+                }
+                shard
+            });
+            let mut merged = CandidateFilter::new(gps, job.gpus, slack, fs_max);
+            for shard in &shards {
+                merged.merge(shard);
+            }
+            merged
+        };
+        perf.record("candidate_select", select_start.elapsed());
+        perf.incr("dp_candidates_offered", filter.offered());
+        perf.incr("dp_candidates_kept", filter.kept() as u64);
+        let stats = filter.candidates();
+        let dp = if self.config.flow_dimension {
+            WorkerDp::new(self.config.fs_max)
+        } else {
+            WorkerDp::without_flow_dimension()
+        };
+        let dp_start = Stopwatch::start();
+        let plans = dp.plans(&stats, job.gpus, slack);
+        perf.record("worker_dp", dp_start.elapsed());
+        if plans.is_empty() {
+            return None;
+        }
+
+        // PSPlacement with class-deduplicated scoring.
+        perf.incr("plans_considered", plans.len() as u64);
+        let scoring_start = Stopwatch::start();
+        fb.build_classes(cluster, state);
+        let mut best: Option<(f64, usize, ServerId)> = None;
+        let mut evals = 0u64;
+        for (pi, plan) in plans.iter().enumerate() {
+            if let Some((score, sid)) =
+                self.score_plan_flat(fb, cluster, state, capacity, plan, &mut evals)
+            {
+                if best.is_none_or(|(b, _, _)| score > b) {
+                    best = Some((score, pi, sid));
+                }
+            }
+        }
+        perf.incr("ps_candidates_scored", evals);
+        perf.record("ps_scoring", scoring_start.elapsed());
+        let (_, pi, ps) = best?;
+        let plan = &plans[pi];
+
+        // Gradient sharding (k > 1): rank every server for the winning
+        // plan, exactly as the struct path does.
+        let pses = if self.config.pses_per_job <= 1 {
+            vec![ps]
+        } else {
+            let stamp = fb.begin_plan(plan);
+            let mut scored: Vec<(f64, ServerId)> = (0..n)
+                .map(|sid| {
+                    let score = self
+                        .score_candidate_flat(fb, cluster, state, capacity, plan, sid, stamp);
+                    (score, ServerId(sid))
+                })
+                .collect();
+            scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+            scored
+                .into_iter()
+                .take(self.config.pses_per_job)
+                .map(|(_, sid)| sid)
+                .collect()
+        };
+
+        // Materialize and release surplus: PS's own server first, then the
+        // least-loaded (largest, last on ties — the reference's
+        // `max_by_key`) chosen server.
+        let mut workers: Vec<(ServerId, usize)> = plan
+            .servers
+            .iter()
+            .map(|&s| (s, fb.gpus_free[s.0] as usize))
+            .collect();
+        let mut surplus = plan.gpus.checked_sub(job.gpus)?;
+        while surplus > 0 {
+            let idx = match workers.iter().position(|&(s, w)| s == ps && w > 0) {
+                Some(i) => i,
+                None => {
+                    let mut max: Option<(usize, usize)> = None;
+                    for (i, &(_, w)) in workers.iter().enumerate() {
+                        if max.is_none_or(|(_, bw)| w >= bw) {
+                            max = Some((i, w));
+                        }
+                    }
+                    max?.0
+                }
+            };
+            let take = workers[idx].1.min(surplus);
+            workers[idx].1 -= take;
+            surplus -= take;
+            if workers[idx].1 == 0 {
+                workers.remove(idx);
+            }
+        }
+        Some(Placement::new_sharded(workers, pses))
+    }
+
+    /// `place_batch` over the flat arrays: same four steps, no cluster
+    /// clone (the GPU ledger lives in [`FlatBatch`]).
+    pub(crate) fn place_batch_flat(
+        &mut self,
+        cluster: &Cluster,
+        running: &[RunningJob],
+        batch: &[Job],
+    ) -> BatchOutcome {
+        let mut perf = std::mem::take(&mut self.perf);
+        let batch_start = Stopwatch::start();
+        let mut outcome = BatchOutcome::default();
+        // Step 1: FindSubset.
+        let subset = select_job_subset(batch, cluster.free_gpus());
+        let mut in_subset = vec![false; batch.len()];
+        for &i in &subset {
+            in_subset[i] = true;
+        }
+        for (i, job) in batch.iter().enumerate() {
+            if !in_subset[i] {
+                outcome.deferred.push(job.clone());
+            }
+        }
+        let mut ordered: Vec<&Job> = subset.iter().map(|&i| &batch[i]).collect();
+        ordered.sort_by(|a, b| b.value.total_cmp(&a.value).then(a.id.cmp(&b.id)));
+
+        let mut fb = FlatBatch::new(cluster);
+        match self.config.scoring {
+            ScoringMode::Fast => {
+                let running_placed: Vec<PlacedJob> =
+                    running.iter().map(|r| r.to_placed(cluster)).collect();
+                let start = Stopwatch::start();
+                let mut inc = IncrementalEstimator::new(cluster, &running_placed);
+                perf.record("waterfill_solve", start.elapsed());
+                for job in ordered {
+                    match self.place_one_flat(&mut fb, cluster, inc.state(), job, &mut perf) {
+                        Some(placement) if fb.commit(&placement) => {
+                            let start = Stopwatch::start();
+                            inc.push(cluster, PlacedJob::new(job.id, cluster, &placement));
+                            perf.record("waterfill_solve", start.elapsed());
+                            outcome.placed.push((job.clone(), placement));
+                        }
+                        _ => outcome.deferred.push(job.clone()),
+                    }
+                }
+                let stats = *inc.stats();
+                perf.incr("waterfill_pushes", stats.pushes);
+                perf.incr("waterfill_jobs_resolved", stats.jobs_resolved);
+                perf.incr("waterfill_jobs_reused", stats.jobs_reused);
+                perf.incr("waterfill_components_solved", stats.components_solved);
+                self.enable_ina(cluster, running, &mut outcome.placed, Some(inc.state()), &mut perf);
+            }
+            ScoringMode::Sequential => {
+                let mut active: Vec<PlacedJob> =
+                    running.iter().map(|r| r.to_placed(cluster)).collect();
+                for job in ordered {
+                    perf.incr(
+                        "waterfill_jobs_resolved",
+                        active.iter().filter(|j| j.is_network()).count() as u64,
+                    );
+                    let start = Stopwatch::start();
+                    let state = estimate(cluster, &active);
+                    perf.record("waterfill_solve", start.elapsed());
+                    match self.place_one_flat(&mut fb, cluster, &state, job, &mut perf) {
+                        Some(placement) if fb.commit(&placement) => {
+                            active.push(PlacedJob::new(job.id, cluster, &placement));
+                            outcome.placed.push((job.clone(), placement));
+                        }
+                        _ => outcome.deferred.push(job.clone()),
+                    }
+                }
+                self.enable_ina(cluster, running, &mut outcome.placed, None, &mut perf);
+            }
+        }
+        perf.record("place_batch", batch_start.elapsed());
+        self.perf = perf;
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netpack::NetPackConfig;
+    use crate::placer::Placer;
+    use netpack_topology::{ClusterSpec, JobId, TopoMode};
+    use netpack_workload::ModelKind;
+
+    fn cluster(racks: usize, spr: usize, gps: usize) -> Cluster {
+        Cluster::new(ClusterSpec {
+            racks,
+            servers_per_rack: spr,
+            gpus_per_server: gps,
+            racks_per_pod: Some(2),
+            ..ClusterSpec::paper_default()
+        })
+    }
+
+    fn job(id: u64, gpus: usize) -> Job {
+        Job::builder(JobId(id), ModelKind::Vgg16, gpus).build()
+    }
+
+    fn placer(topo: TopoMode, scoring: ScoringMode) -> NetPackPlacer {
+        NetPackPlacer::new(NetPackConfig {
+            topo,
+            scoring,
+            ..NetPackConfig::default()
+        })
+    }
+
+    /// Both topology modes, both scoring modes: identical placements on a
+    /// mixed batch that exercises local jobs, spanning jobs, and deferral.
+    #[test]
+    fn flat_matches_struct_on_a_mixed_batch() {
+        let c = cluster(6, 4, 4);
+        let batch: Vec<Job> = vec![
+            job(0, 4),
+            job(1, 6),
+            job(2, 13),
+            job(3, 2),
+            job(4, 9),
+            job(5, 40),
+        ];
+        let reference = placer(TopoMode::Struct, ScoringMode::Sequential)
+            .place_batch(&c, &[], &batch);
+        for (topo, scoring) in [
+            (TopoMode::Flat, ScoringMode::Fast),
+            (TopoMode::Flat, ScoringMode::Sequential),
+            (TopoMode::Struct, ScoringMode::Fast),
+        ] {
+            let out = placer(topo, scoring).place_batch(&c, &[], &batch);
+            assert_eq!(out.placed, reference.placed, "{topo:?}/{scoring:?}");
+            assert_eq!(out.deferred, reference.deferred, "{topo:?}/{scoring:?}");
+        }
+    }
+
+    /// The flat ledger tracks commitments across a batch: two spanning
+    /// jobs can't double-book the same GPUs.
+    #[test]
+    fn flat_ledger_prevents_double_booking() {
+        let c = cluster(2, 2, 4);
+        let batch: Vec<Job> = vec![job(0, 6), job(1, 6), job(2, 6)];
+        let out = placer(TopoMode::Flat, ScoringMode::Fast).place_batch(&c, &[], &batch);
+        let booked: usize = out
+            .placed
+            .iter()
+            .map(|(_, p)| p.total_workers())
+            .sum();
+        assert!(booked <= c.free_gpus());
+        for (_, p) in &out.placed {
+            p.validate(&c, p.total_workers()).unwrap();
+        }
+    }
+
+    /// Gradient sharding (k > 1) agrees between the paths too.
+    #[test]
+    fn flat_matches_struct_with_sharded_ps() {
+        let c = cluster(4, 4, 4);
+        let batch: Vec<Job> = vec![job(0, 10), job(1, 7)];
+        let mk = |topo| {
+            NetPackPlacer::new(NetPackConfig {
+                topo,
+                pses_per_job: 3,
+                ..NetPackConfig::default()
+            })
+            .place_batch(&c, &[], &batch)
+        };
+        let flat = mk(TopoMode::Flat);
+        let sref = mk(TopoMode::Struct);
+        assert_eq!(flat.placed, sref.placed);
+        assert_eq!(flat.deferred, sref.deferred);
+    }
+
+    /// Class keys separate servers whose racks differ in uplink load.
+    #[test]
+    fn class_table_groups_interchangeable_servers() {
+        let c = cluster(4, 4, 4);
+        let fb_state = estimate(&c, &[]);
+        let mut fb = FlatBatch::new(&c);
+        fb.build_classes(&c, &fb_state);
+        // Idle cluster: every server is interchangeable — one class.
+        assert_eq!(fb.classes.len(), 1);
+        assert_eq!(fb.class_start, vec![0, 16]);
+        let members: Vec<u32> = fb.members.clone();
+        let mut sorted = members.clone();
+        sorted.sort_unstable();
+        assert_eq!(members, sorted, "members ascending within the class");
+    }
+}

@@ -3,9 +3,10 @@
 use crate::dp::{ServerStats, WorkerDp, WorkerPlan};
 use crate::knapsack::select_job_subset;
 use crate::placer::{BatchOutcome, Placer, RunningJob};
+use crate::select::CandidateFilter;
 use netpack_metrics::PerfCounters;
 use netpack_model::{JobHierarchy, Placement};
-use netpack_topology::{Cluster, RackId, ServerId};
+use netpack_topology::{Cluster, RackId, ServerId, TopoMode};
 use netpack_waterfill::{estimate, IncrementalEstimator, PlacedJob, SteadyState};
 use netpack_workload::Job;
 use netpack_metrics::Stopwatch;
@@ -111,6 +112,10 @@ pub struct NetPackConfig {
     /// Scoring implementation (see [`ScoringMode`]); placements are
     /// identical either way.
     pub scoring: ScoringMode,
+    /// Topology representation the hot path walks (see
+    /// [`TopoMode`]); placements are identical either way. Defaults to
+    /// the `NETPACK_TOPO` environment variable (flat unless `struct`).
+    pub topo: TopoMode,
 }
 
 impl Default for NetPackConfig {
@@ -122,6 +127,7 @@ impl Default for NetPackConfig {
             flow_dimension: true,
             pses_per_job: 1,
             scoring: ScoringMode::default(),
+            topo: TopoMode::from_env(),
         }
     }
 }
@@ -138,8 +144,8 @@ impl Default for NetPackConfig {
 /// See the crate-level example for basic usage.
 #[derive(Debug, Clone, Default)]
 pub struct NetPackPlacer {
-    config: NetPackConfig,
-    perf: PerfCounters,
+    pub(crate) config: NetPackConfig,
+    pub(crate) perf: PerfCounters,
 }
 
 impl NetPackPlacer {
@@ -174,7 +180,7 @@ impl NetPackPlacer {
     /// Heuristic value of a server (Algorithm 2 line 16):
     /// `bw̄ − (C − bw̄)/(flows + 1)` — its residual bandwidth minus the
     /// throughput loss the new job would inflict on the flows already there.
-    fn server_value(capacity: f64, avail: f64, flows: u32) -> f64 {
+    pub(crate) fn server_value(capacity: f64, avail: f64, flows: u32) -> f64 {
         avail - (capacity - avail) / (f64::from(flows) + 1.0)
     }
 
@@ -207,28 +213,34 @@ impl NetPackPlacer {
             return Some(Placement::local(server.id(), job.gpus));
         }
 
-        // WorkerPlacement DP over servers with free GPUs.
+        // WorkerPlacement DP over servers with free GPUs, pruned to the
+        // per-class top-K that can appear in any optimal `V[s][f][g]` cell
+        // (see [`CandidateFilter`]). Both topology modes run the same
+        // filter, so their DP inputs — and hence placements — stay
+        // bit-identical by construction.
         let capacity = scratch.spec().server_link_gbps;
-        let stats: Vec<ServerStats> = scratch
-            .servers()
-            .iter()
-            .map(|s| {
-                let avail = state.server_available_gbps(s.id());
-                let flows = state.server_flows(s.id());
-                ServerStats {
-                    id: s.id(),
-                    gpus_free: s.gpus_free(),
-                    value: Self::server_value(capacity, avail, flows),
-                    flows,
-                }
-            })
-            .collect();
+        let slack = scratch.spec().gpus_per_server;
+        let fs_max = self.config.flow_dimension.then_some(self.config.fs_max);
+        let mut filter =
+            CandidateFilter::new(scratch.spec().gpus_per_server, job.gpus, slack, fs_max);
+        for s in scratch.servers() {
+            let avail = state.server_available_gbps(s.id());
+            let flows = state.server_flows(s.id());
+            filter.offer(ServerStats {
+                id: s.id(),
+                gpus_free: s.gpus_free(),
+                value: Self::server_value(capacity, avail, flows),
+                flows,
+            });
+        }
+        perf.incr("dp_candidates_offered", filter.offered());
+        perf.incr("dp_candidates_kept", filter.kept() as u64);
+        let stats = filter.candidates();
         let dp = if self.config.flow_dimension {
             WorkerDp::new(self.config.fs_max)
         } else {
             WorkerDp::without_flow_dimension()
         };
-        let slack = scratch.spec().gpus_per_server;
         let dp_start = Stopwatch::start();
         let plans = dp.plans(&stats, job.gpus, slack);
         perf.record("worker_dp", dp_start.elapsed());
@@ -571,7 +583,7 @@ impl NetPackPlacer {
     }
 
     /// The Equation-1 hot-spot / oversubscription term.
-    fn hotspot_term(
+    pub(crate) fn hotspot_term(
         &self,
         cluster: &Cluster,
         state: &SteadyState,
@@ -640,7 +652,7 @@ impl NetPackPlacer {
     /// placements still INA-enabled, when the caller already has it (the
     /// fast path's incremental estimator ends the batch holding exactly
     /// this state); `None` recomputes it from scratch.
-    fn enable_ina(
+    pub(crate) fn enable_ina(
         &self,
         cluster: &Cluster,
         running: &[RunningJob],
@@ -751,6 +763,9 @@ impl Placer for NetPackPlacer {
         running: &[RunningJob],
         batch: &[Job],
     ) -> BatchOutcome {
+        if self.config.topo == TopoMode::Flat {
+            return self.place_batch_flat(cluster, running, batch);
+        }
         // Counters are taken out of `self` so `place_one` (which borrows
         // `self` immutably) can record into them, then put back.
         let mut perf = std::mem::take(&mut self.perf);

@@ -106,18 +106,24 @@ pub fn batch_comm_time_s(
 
 /// Greedy FIFO batch driver shared by the single-job baselines: places each
 /// job in arrival order on a scratch ledger, deferring jobs that do not fit.
+///
+/// The driver owns a candidate-order arena passed to `place_one` on every
+/// call: placers refill (`clear` + `extend`) and sort it in place, so a
+/// batch performs one allocation for the order list however many jobs it
+/// holds.
 pub(crate) fn greedy_batch<F>(
     cluster: &Cluster,
     batch: &[Job],
     mut place_one: F,
 ) -> BatchOutcome
 where
-    F: FnMut(&Cluster, &Job) -> Option<Placement>,
+    F: FnMut(&Cluster, &Job, &mut Vec<netpack_topology::ServerId>) -> Option<Placement>,
 {
     let mut scratch = cluster.clone();
     let mut outcome = BatchOutcome::default();
+    let mut order: Vec<netpack_topology::ServerId> = Vec::with_capacity(cluster.num_servers());
     for job in batch {
-        match place_one(&scratch, job) {
+        match place_one(&scratch, job, &mut order) {
             Some(placement) if try_allocate(&mut scratch, &placement) => {
                 outcome.placed.push((job.clone(), placement));
             }
@@ -198,9 +204,10 @@ mod tests {
         let c = cluster();
         let batch = [job(0, 2), job(1, 2), job(2, 2), job(3, 2)];
         // Place each job on the first server with free GPUs.
-        let outcome = greedy_batch(&c, &batch, |scratch, j| {
-            let order: Vec<ServerId> = scratch.servers().iter().map(|s| s.id()).collect();
-            let workers = take_in_order(scratch, &order, j.gpus)?;
+        let outcome = greedy_batch(&c, &batch, |scratch, j, order| {
+            order.clear();
+            order.extend(scratch.servers().iter().map(|s| s.id()));
+            let workers = take_in_order(scratch, order, j.gpus)?;
             Some(Placement::new(workers, None))
         });
         // 6 GPUs total: three jobs fit, the fourth defers.
@@ -218,7 +225,7 @@ mod tests {
         // the proposal is deferred, the scratch ledger stays clean, and
         // later feasible proposals still land.
         let batch = [job(0, 5), job(1, 2)];
-        let outcome = greedy_batch(&c, &batch, |_, j| {
+        let outcome = greedy_batch(&c, &batch, |_, j, _| {
             Some(Placement::new(vec![(ServerId(0), j.gpus)], None))
         });
         assert_eq!(outcome.deferred.len(), 1);
@@ -239,7 +246,7 @@ mod tests {
         );
         let batch = [job(0, 7), job(1, 6)];
         let mut first = true;
-        let outcome = greedy_batch(&c, &batch, |_, _| {
+        let outcome = greedy_batch(&c, &batch, |_, _, _| {
             if first {
                 first = false;
                 Some(over.clone())

@@ -86,7 +86,7 @@ impl Placer for OptimusLike {
         _running: &[RunningJob],
         batch: &[Job],
     ) -> BatchOutcome {
-        crate::placer::greedy_batch(cluster, batch, |scratch, job| {
+        crate::placer::greedy_batch(cluster, batch, |scratch, job, _| {
             Self::place_one(scratch, job)
         })
     }

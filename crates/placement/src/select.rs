@@ -1,0 +1,340 @@
+//! Bounded candidate selection for the `V[s][f][g]` worker-placement DP.
+//!
+//! At warehouse scale the DP cannot afford to consider every server: a
+//! 50k-server sweep per job dominates the placement time long before the
+//! table itself does. This module prunes the server list *before* the DP
+//! runs, keeping only servers that can appear in some optimal plan.
+//!
+//! # The pruning bound, and why it is loss-free
+//!
+//! The DP's weight is two-dimensional: a server contributes all `w` of its
+//! free GPUs and its flow count clamped to `f = min(flows, FS_max)`.
+//! Servers with equal `(w, f)` are interchangeable for every DP cell —
+//! only their values differ. Any feasible plan carries at most
+//! `g_max = demand + slack` GPUs, so it uses at most `K_w = ⌊g_max / w⌋`
+//! servers of weight `w` in total — and a fortiori at most `K_w` members
+//! of any single `(w, f)` class. Keeping the top `K_w` members of each
+//! class by `(value desc, server id asc)` therefore preserves every cell's
+//! optimum: a plan using a dropped member also leaves some kept member of
+//! the same class unused (there are `K_w` kept and the plan uses fewer),
+//! and exchanging the two keeps the plan's `(f, g)` coordinates while not
+//! decreasing its value (exact arithmetic).
+//!
+//! Floating-point caveat, and why both topology modes share this filter:
+//! an exchange re-orders the value summation, which can move the float sum
+//! by an ulp when a class holds exact value ties; a pruned and an unpruned
+//! DP could then back-track different (equal-value) plans. The `NETPACK_TOPO`
+//! equivalence contract is therefore established *by construction*: the
+//! flat and struct paths run this **same** filter over the same inputs and
+//! feed the DP identical candidate lists, rather than by comparing a
+//! pruned run against an unpruned one. See `DESIGN.md` §3.11.
+//!
+//! # Determinism
+//!
+//! Selection is a top-`K` cut of a totally ordered set — `(value desc,
+//! id asc)` has no ties because ids are unique — so the kept set is
+//! independent of both the order servers are offered in and any sharding
+//! of the scan. The flat path exploits this: each pod runs its own filter
+//! over its contiguous server range (via `parallel_sweep`) and the
+//! per-pod results are merged pod-ascending; the regression test
+//! `selection_is_insertion_order_independent` pins the property.
+
+use crate::dp::ServerStats;
+
+/// Bounded per-class candidate filter for the worker-placement DP.
+///
+/// Classes are `(w, f)` pairs — free-GPU weight times clamped flow count —
+/// and each class keeps its top `⌊g_max / w⌋` servers by
+/// `(value desc, id asc)`. See the [module docs](self) for the loss-free
+/// argument.
+///
+/// # Example
+///
+/// ```
+/// use netpack_placement::{CandidateFilter, ServerStats};
+/// use netpack_topology::ServerId;
+///
+/// // demand 4, slack 0 => g_max 4 => a 4-GPU class keeps exactly 1 server.
+/// let mut filter = CandidateFilter::new(4, 4, 0, Some(16));
+/// for (id, value) in [(0, 1.0), (1, 9.0), (2, 5.0)] {
+///     filter.offer(ServerStats { id: ServerId(id), gpus_free: 4, value, flows: 0 });
+/// }
+/// let kept = filter.candidates();
+/// assert_eq!(kept.len(), 1);
+/// assert_eq!(kept[0].id, ServerId(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CandidateFilter {
+    /// `classes[(w-1) * nf + f]`, each sorted `(value desc, id asc)` and
+    /// capped at `⌊g_max / w⌋` entries.
+    classes: Vec<Vec<ServerStats>>,
+    /// Flow-dimension width: `fs_max + 1`, or 1 when flows are untracked.
+    nf: usize,
+    /// Flow clamp; 0 when the flow dimension is disabled.
+    fs_max: u32,
+    /// Largest admissible plan size in GPUs (`demand + slack`).
+    g_max: usize,
+    /// Servers offered (kept or not) — the pruning denominator.
+    offered: u64,
+}
+
+impl CandidateFilter {
+    /// Filter for one job: `demand` GPUs with up to `slack` surplus on a
+    /// cluster with `gpus_per_server` GPUs per server. `fs_max` is the
+    /// DP's flow clamp, or `None` when the flow dimension is disabled
+    /// (every server then lands in the `f = 0` class, exactly like
+    /// [`WorkerDp::without_flow_dimension`](crate::WorkerDp::without_flow_dimension)
+    /// ignores flows).
+    pub fn new(gpus_per_server: usize, demand: usize, slack: usize, fs_max: Option<u32>) -> Self {
+        let g_max = demand + slack;
+        let nf = fs_max.map_or(1, |f| f as usize + 1);
+        let widths = gpus_per_server.min(g_max);
+        CandidateFilter {
+            classes: vec![Vec::new(); widths * nf],
+            nf,
+            fs_max: fs_max.unwrap_or(0),
+            g_max,
+            offered: 0,
+        }
+    }
+
+    /// Offer one server. Servers with no free GPUs or more free GPUs than
+    /// any plan can carry are rejected outright (the DP would skip them
+    /// anyway); the rest compete within their `(w, f)` class.
+    pub fn offer(&mut self, stats: ServerStats) {
+        self.offered += 1;
+        let w = stats.gpus_free;
+        if w == 0 || w > self.g_max {
+            return;
+        }
+        let f = stats.flows.min(self.fs_max) as usize;
+        let cap = self.g_max / w;
+        let class = &mut self.classes[(w - 1) * self.nf + f];
+        if class.len() == cap {
+            // Full class: reject unless strictly better than the worst.
+            match class.last() {
+                Some(worst) if !Self::better(&stats, worst) => return,
+                _ => {}
+            }
+        }
+        let pos = class.partition_point(|e| Self::better(e, &stats));
+        class.insert(pos, stats);
+        if class.len() > cap {
+            class.pop();
+        }
+    }
+
+    /// Merge another filter built with the same parameters (a pod shard's
+    /// result) into this one. Because selection is a top-`K` cut of a
+    /// totally ordered set, merging shard filters in any order yields the
+    /// same kept set as one sequential scan.
+    pub fn merge(&mut self, other: &CandidateFilter) {
+        self.offered += other.offered;
+        // `offer` re-counts, so compensate before re-offering kept entries.
+        for class in &other.classes {
+            for &stats in class {
+                self.offered -= 1;
+                self.offer(stats);
+            }
+        }
+    }
+
+    /// The kept candidates in ascending server-id order — the order the
+    /// DP consumes (its tie-breaks depend on it).
+    pub fn candidates(&self) -> Vec<ServerStats> {
+        let mut out: Vec<ServerStats> = self.classes.iter().flatten().copied().collect();
+        out.sort_by_key(|s| s.id);
+        out
+    }
+
+    /// Servers offered so far (kept or rejected).
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Servers currently kept.
+    pub fn kept(&self) -> usize {
+        self.classes.iter().map(Vec::len).sum()
+    }
+
+    /// Strict total order: `a` before `b` under `(value desc, id asc)`.
+    fn better(a: &ServerStats, b: &ServerStats) -> bool {
+        match a.value.total_cmp(&b.value) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => a.id < b.id,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::WorkerDp;
+    use netpack_topology::ServerId;
+
+    fn stats(id: usize, w: usize, value: f64, flows: u32) -> ServerStats {
+        ServerStats {
+            id: ServerId(id),
+            gpus_free: w,
+            value,
+            flows,
+        }
+    }
+
+    /// Deterministic xorshift so instances are seeded and reproducible.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+    }
+
+    fn random_servers(seed: u64, n: usize, gps: usize) -> Vec<ServerStats> {
+        let mut rng = Rng(seed | 1);
+        (0..n)
+            .map(|i| {
+                // Well-separated distinct values: pruning is then exactly
+                // plan-preserving, not just value-preserving.
+                let value = (rng.next() % 1000) as f64 + i as f64 * 1e-6;
+                stats(i, (rng.next() % (gps as u64 + 1)) as usize, value, (rng.next() % 20) as u32)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn keeps_top_k_per_class() {
+        // g_max = 6: weight-2 classes keep 3, weight-3 classes keep 2.
+        let mut f = CandidateFilter::new(4, 4, 2, Some(16));
+        for (i, v) in [5.0, 1.0, 9.0, 7.0, 3.0].iter().enumerate() {
+            f.offer(stats(i, 2, *v, 0));
+        }
+        let kept = f.candidates();
+        let ids: Vec<usize> = kept.iter().map(|s| s.id.0).collect();
+        assert_eq!(ids, vec![0, 2, 3], "top 3 by value, listed id-ascending");
+        assert_eq!(f.offered(), 5);
+        assert_eq!(f.kept(), 3);
+    }
+
+    #[test]
+    fn zero_and_oversized_weights_are_rejected() {
+        let mut f = CandidateFilter::new(8, 2, 1, Some(16));
+        f.offer(stats(0, 0, 9.0, 0));
+        f.offer(stats(1, 4, 9.0, 0)); // w=4 > g_max=3
+        f.offer(stats(2, 3, 1.0, 0));
+        assert_eq!(f.candidates().len(), 1);
+        assert_eq!(f.offered(), 3);
+    }
+
+    #[test]
+    fn equal_values_keep_the_lowest_ids() {
+        let mut f = CandidateFilter::new(4, 4, 0, Some(16));
+        for i in [7, 3, 9, 1] {
+            f.offer(stats(i, 4, 5.0, 2));
+        }
+        // K = 1: the lowest id among the tied values survives.
+        let kept = f.candidates();
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].id, ServerId(1));
+    }
+
+    #[test]
+    fn flow_classes_are_separate_and_clamped() {
+        let mut f = CandidateFilter::new(4, 4, 0, Some(2));
+        f.offer(stats(0, 4, 1.0, 0));
+        f.offer(stats(1, 4, 2.0, 1));
+        f.offer(stats(2, 4, 3.0, 2));
+        f.offer(stats(3, 4, 4.0, 9)); // clamps to f = 2, beats id 2
+        let ids: Vec<usize> = f.candidates().iter().map(|s| s.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn untracked_flows_collapse_to_one_class() {
+        let mut f = CandidateFilter::new(4, 4, 0, None);
+        f.offer(stats(0, 4, 1.0, 0));
+        f.offer(stats(1, 4, 2.0, 17));
+        let kept = f.candidates();
+        assert_eq!(kept.len(), 1, "one class, K = 1");
+        assert_eq!(kept[0].id, ServerId(1));
+    }
+
+    #[test]
+    fn selection_is_insertion_order_independent() {
+        // The property the pod-shard merge rests on: a top-K cut of a
+        // totally ordered set does not depend on scan order.
+        for seed in 1..=20u64 {
+            let servers = random_servers(seed, 60, 4);
+            let mut forward = CandidateFilter::new(4, 9, 4, Some(8));
+            for &s in &servers {
+                forward.offer(s);
+            }
+            let mut shuffled: Vec<ServerStats> = servers.clone();
+            // Deterministic shuffle.
+            let mut rng = Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+            for i in (1..shuffled.len()).rev() {
+                let j = (rng.next() % (i as u64 + 1)) as usize;
+                shuffled.swap(i, j);
+            }
+            let mut backward = CandidateFilter::new(4, 9, 4, Some(8));
+            for &s in &shuffled {
+                backward.offer(s);
+            }
+            assert_eq!(forward.candidates(), backward.candidates(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sharded_merge_equals_sequential_scan() {
+        // Simulate the pod shards: split the server range at arbitrary
+        // boundaries, filter each chunk independently, merge ascending.
+        for seed in 1..=20u64 {
+            let servers = random_servers(seed ^ 0xABCD, 80, 4);
+            let mut sequential = CandidateFilter::new(4, 7, 4, Some(8));
+            for &s in &servers {
+                sequential.offer(s);
+            }
+            let mut rng = Rng(seed.wrapping_add(77) | 1);
+            let mut cut1 = (rng.next() % 80) as usize;
+            let mut cut2 = (rng.next() % 80) as usize;
+            if cut1 > cut2 {
+                std::mem::swap(&mut cut1, &mut cut2);
+            }
+            let mut merged = CandidateFilter::new(4, 7, 4, Some(8));
+            for chunk in [&servers[..cut1], &servers[cut1..cut2], &servers[cut2..]] {
+                let mut shard = CandidateFilter::new(4, 7, 4, Some(8));
+                for &s in chunk {
+                    shard.offer(s);
+                }
+                merged.merge(&shard);
+            }
+            assert_eq!(sequential.candidates(), merged.candidates(), "seed {seed}");
+            assert_eq!(sequential.offered(), merged.offered(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn pruned_dp_matches_full_dp_on_separated_values() {
+        // With well-separated values (no exact ties) pruning is exactly
+        // plan-preserving: every (f, g) cell the full DP reaches, the
+        // pruned DP reaches with the same value and the same servers.
+        for seed in 1..=15u64 {
+            let servers = random_servers(seed.wrapping_mul(31), 40, 4);
+            let demand = 6 + (seed % 8) as usize;
+            let slack = 4;
+            let dp = WorkerDp::new(8);
+            let full = dp.plans(&servers, demand, slack);
+            let mut filter = CandidateFilter::new(4, demand, slack, Some(8));
+            for &s in &servers {
+                filter.offer(s);
+            }
+            let pruned = dp.plans(&filter.candidates(), demand, slack);
+            assert_eq!(full, pruned, "seed {seed} demand {demand}");
+        }
+    }
+}

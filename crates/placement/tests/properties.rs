@@ -2,8 +2,9 @@
 //! NetPack's DP never loses to a greedy plan on the same server values.
 
 use netpack_placement::{
-    Comb, FlowBalance, GpuBalance, LeastFragmentation, NetPackConfig, NetPackPlacer, OptimusLike,
-    Placer, RandomPlacer, RunningJob, ScoringMode, ServerStats, TetrisLike, WorkerDp,
+    batch_comm_time_s, CandidateFilter, Comb, FlowBalance, GpuBalance, LeastFragmentation,
+    NetPackConfig, NetPackPlacer, OptimusLike, Placer, RandomPlacer, RunningJob, ScoringMode,
+    ServerStats, TetrisLike, TopoMode, WorkerDp,
 };
 use netpack_model::Placement;
 use netpack_topology::{Cluster, ClusterSpec, JobId, ServerId};
@@ -16,6 +17,23 @@ fn arb_cluster() -> impl Strategy<Value = Cluster> {
             racks,
             servers_per_rack: spr,
             gpus_per_server: gps,
+            ..ClusterSpec::paper_default()
+        })
+    })
+}
+
+/// Random two- or three-tier fat-trees: 1–6 racks of mixed widths, with an
+/// optional pod structure whose last pod may be ragged (racks not a
+/// multiple of `racks_per_pod`) — the shapes the flat path shards by pod.
+fn arb_fat_tree() -> impl Strategy<Value = Cluster> {
+    // rpp = 0 encodes "no pod structure" (two-tier); 1..4 declares pods,
+    // with the last pod ragged whenever racks % rpp != 0.
+    (1usize..7, 2usize..6, 1usize..5, 0usize..4).prop_map(|(racks, spr, gps, rpp)| {
+        Cluster::new(ClusterSpec {
+            racks,
+            servers_per_rack: spr,
+            gpus_per_server: gps,
+            racks_per_pod: (rpp > 0).then_some(rpp),
             ..ClusterSpec::paper_default()
         })
     })
@@ -45,6 +63,58 @@ fn all_placers() -> Vec<Box<dyn Placer>> {
         Box::new(Comb),
         Box::new(RandomPlacer::new(11)),
     ]
+}
+
+/// Acceptance pin for DESIGN.md §3.11: on every existing fig10 quick cell
+/// (servers in {100, 400} x jobs in {50, 100}, same spec and deterministic
+/// batch generator as the `fig10_placement_time` binary), the flat and
+/// struct topology modes place bit-identical batches.
+#[test]
+fn fig10_quick_cells_agree_across_topo_modes() {
+    let batch = |jobs: usize, max_gpus: usize, seed: u64| -> Vec<Job> {
+        let mut state = seed.max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..jobs)
+            .map(|i| {
+                let gpus = (next() % max_gpus as u64).max(1) as usize;
+                let model = netpack_workload::ModelKind::ALL[(next() % 6) as usize];
+                Job::builder(JobId(i as u64), model, gpus).build()
+            })
+            .collect()
+    };
+    for servers in [100usize, 400] {
+        let racks = 16.min(servers);
+        let spec = ClusterSpec {
+            racks,
+            servers_per_rack: servers / racks,
+            ..ClusterSpec::paper_default()
+        };
+        for jobs in [50usize, 100] {
+            let cluster = Cluster::new(spec.clone());
+            let b = batch(jobs, 32, 7);
+            let mut flat = NetPackPlacer::new(NetPackConfig {
+                topo: TopoMode::Flat,
+                ..NetPackConfig::default()
+            });
+            let mut strct = NetPackPlacer::new(NetPackConfig {
+                topo: TopoMode::Struct,
+                ..NetPackConfig::default()
+            });
+            let out_flat = flat.place_batch(&cluster, &[], &b);
+            let out_strct = strct.place_batch(&cluster, &[], &b);
+            assert_eq!(
+                out_flat.placed, out_strct.placed,
+                "cell servers={servers}/jobs={jobs} diverged"
+            );
+            let ids = |jobs: &[Job]| jobs.iter().map(|j| j.id).collect::<Vec<_>>();
+            assert_eq!(ids(&out_flat.deferred), ids(&out_strct.deferred));
+        }
+    }
 }
 
 proptest! {
@@ -130,6 +200,120 @@ proptest! {
         let ids = |jobs: &[Job]| jobs.iter().map(|j| j.id).collect::<Vec<_>>();
         prop_assert_eq!(ids(&out_fast.deferred), ids(&out_seq.deferred));
     }
+
+}
+
+proptest! {
+    // 100 seeded instances: the acceptance count for the flat-topology
+    // equivalence sweep (DESIGN.md §3.11).
+    #![proptest_config(ProptestConfig::with_cases(100))]
+
+    /// The flat indexed-topology placement path (DESIGN.md §3.11) must be
+    /// **bit-identical** to the struct reference across random fat-trees —
+    /// two-tier (no pod structure) and three-tier with mixed/ragged pod
+    /// sizes — on both the placements and the batch objective.
+    #[test]
+    fn flat_and_struct_topo_agree(
+        (cluster, batch, seed) in arb_fat_tree().prop_flat_map(|c| {
+            let total = c.total_gpus();
+            (Just(c), arb_batch(total), any::<u64>())
+        })
+    ) {
+        // A pre-existing running job (when it fits) exercises the
+        // running-jobs path of both topology modes.
+        let mut scratch = cluster.clone();
+        let mut running: Vec<RunningJob> = Vec::new();
+        if cluster.num_servers() >= 3 {
+            let w1 = ServerId(seed as usize % cluster.num_servers());
+            let w2 = ServerId((seed as usize + 1) % cluster.num_servers());
+            let ps = ServerId((seed as usize + 2) % cluster.num_servers());
+            if w1 != w2 && scratch.allocate_gpus(w1, 1).is_ok()
+                && scratch.allocate_gpus(w2, 1).is_ok()
+            {
+                running.push(RunningJob {
+                    id: JobId(1_000),
+                    gradient_gbits: 4.0,
+                    placement: Placement::new(vec![(w1, 1), (w2, 1)], Some(ps)),
+                });
+            }
+        }
+
+        for scoring in [ScoringMode::Fast, ScoringMode::Sequential] {
+            let mut flat = NetPackPlacer::new(NetPackConfig {
+                topo: TopoMode::Flat,
+                scoring,
+                ..NetPackConfig::default()
+            });
+            let mut strct = NetPackPlacer::new(NetPackConfig {
+                topo: TopoMode::Struct,
+                scoring,
+                ..NetPackConfig::default()
+            });
+            let out_flat = flat.place_batch(&scratch, &running, &batch);
+            let out_strct = strct.place_batch(&scratch, &running, &batch);
+
+            prop_assert_eq!(out_flat.placed.len(), out_strct.placed.len());
+            for ((jf, pf), (js, ps)) in out_flat.placed.iter().zip(&out_strct.placed) {
+                prop_assert_eq!(jf.id, js.id);
+                prop_assert_eq!(pf, ps, "placements diverged for {:?} ({:?})", jf.id, scoring);
+            }
+            let ids = |jobs: &[Job]| jobs.iter().map(|j| j.id).collect::<Vec<_>>();
+            prop_assert_eq!(ids(&out_flat.deferred), ids(&out_strct.deferred));
+
+            let obj_flat = batch_comm_time_s(&scratch, &running, &out_flat.placed);
+            let obj_strct = batch_comm_time_s(&scratch, &running, &out_strct.placed);
+            prop_assert_eq!(obj_flat.to_bits(), obj_strct.to_bits());
+        }
+    }
+
+    /// The candidate filter's kept set must not depend on offer order: the
+    /// per-pod shards of the flat path offer servers in pod order, the
+    /// struct path in global id order, and both must keep the same
+    /// candidates (value-desc, id-asc within a class, ties included).
+    #[test]
+    fn candidate_filter_ignores_insertion_order(
+        stats in proptest::collection::vec((1usize..5, 0u32..6, 0usize..4), 1..40),
+        demand in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        // Deliberately coarse value grid so equal values collide often and
+        // the (value desc, id asc) tie-break is what keeps the set stable.
+        let servers: Vec<ServerStats> = stats
+            .iter()
+            .enumerate()
+            .map(|(i, &(gpus, flows, value_step))| ServerStats {
+                id: ServerId(i),
+                gpus_free: gpus,
+                value: value_step as f64 * 0.25,
+                flows,
+            })
+            .collect();
+        let mut shuffled = servers.clone();
+        let mut state = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            shuffled.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+
+        let mut a = CandidateFilter::new(4, demand, 4, Some(3));
+        let mut b = CandidateFilter::new(4, demand, 4, Some(3));
+        for s in &servers {
+            a.offer(*s);
+        }
+        for s in &shuffled {
+            b.offer(*s);
+        }
+        prop_assert_eq!(a.candidates(), b.candidates());
+        prop_assert_eq!(a.offered(), b.offered());
+        prop_assert_eq!(a.kept(), b.kept());
+    }
+
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// The DP's best exact-demand plan is at least as valuable as any
     /// greedy value-descending plan.

@@ -105,6 +105,7 @@ impl FatTreeSpec {
             pat_gbps: self.pat_gbps,
             oversubscription: self.effective_oversubscription(),
             rtt_us: self.rtt_us,
+            racks_per_pod: Some(self.racks_per_pod),
         }
     }
 

@@ -37,6 +37,7 @@
 mod cluster;
 mod error;
 mod fattree;
+mod flat;
 mod ids;
 mod link;
 mod spec;
@@ -44,6 +45,7 @@ mod spec;
 pub use cluster::{Cluster, Rack, Server};
 pub use error::TopologyError;
 pub use fattree::FatTreeSpec;
+pub use flat::{FlatTopology, TopoMode};
 pub use ids::{JobId, RackId, ServerId};
 pub use link::LinkId;
 pub use spec::ClusterSpec;

@@ -41,6 +41,18 @@ pub struct ClusterSpec {
     /// convert between switch memory (packets) and PAT when a caller prefers
     /// to think in memory units, and by the packet-level simulator.
     pub rtt_us: f64,
+    /// Racks per pod, when the cluster was lowered from a three-tier
+    /// fat-tree ([`FatTreeSpec::to_cluster_spec`](crate::FatTreeSpec)).
+    /// Racks are numbered pod-major, so pod `p` owns racks
+    /// `p * racks_per_pod .. (p + 1) * racks_per_pod` (the last pod may be
+    /// ragged when `racks` is not a multiple). `None` means the pod
+    /// structure is unknown; the cluster then behaves as a single pod.
+    ///
+    /// Pods carry **no semantics** in the one-big-switch model — capacities
+    /// are fully described by the per-rack uplink. They exist so that
+    /// warehouse-scale consumers (the flat placement path) can shard
+    /// rack-independent work per pod; see `DESIGN.md` §3.11.
+    pub racks_per_pod: Option<usize>,
 }
 
 impl ClusterSpec {
@@ -56,6 +68,7 @@ impl ClusterSpec {
             pat_gbps: 1000.0,
             oversubscription: 1.0,
             rtt_us: 50.0,
+            racks_per_pod: None,
         }
     }
 
@@ -70,6 +83,16 @@ impl ClusterSpec {
             pat_gbps: 1000.0,
             oversubscription: 1.0,
             rtt_us: 50.0,
+            racks_per_pod: None,
+        }
+    }
+
+    /// Number of pods: `ceil(racks / racks_per_pod)`, or 1 when no pod
+    /// structure was declared.
+    pub fn num_pods(&self) -> usize {
+        match self.racks_per_pod {
+            Some(rpp) if rpp > 0 => self.racks.div_ceil(rpp),
+            _ => 1,
         }
     }
 
@@ -140,6 +163,9 @@ impl ClusterSpec {
         if !(self.rtt_us.is_finite() && self.rtt_us > 0.0) {
             return bad("rtt_us must be positive and finite");
         }
+        if self.racks_per_pod == Some(0) {
+            return bad("racks_per_pod must be positive when declared");
+        }
         Ok(())
     }
 }
@@ -173,6 +199,26 @@ mod tests {
         let spec = ClusterSpec::paper_default();
         assert_eq!(spec.num_servers(), 256);
         assert_eq!(spec.total_gpus(), 1024);
+    }
+
+    #[test]
+    fn pod_count_rounds_up_and_defaults_to_one() {
+        let mut spec = ClusterSpec::paper_default();
+        assert_eq!(spec.num_pods(), 1);
+        spec.racks_per_pod = Some(4);
+        assert_eq!(spec.num_pods(), 4);
+        spec.racks_per_pod = Some(5);
+        assert_eq!(spec.num_pods(), 4, "16 racks / 5 per pod = 4 pods, ragged");
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn zero_racks_per_pod_is_rejected() {
+        let spec = ClusterSpec {
+            racks_per_pod: Some(0),
+            ..ClusterSpec::paper_default()
+        };
+        assert!(spec.validate().is_err());
     }
 
     #[test]

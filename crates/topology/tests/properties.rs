@@ -4,8 +4,8 @@ use netpack_topology::{Cluster, ClusterSpec, LinkId, ServerId};
 use proptest::prelude::*;
 
 fn arb_spec() -> impl Strategy<Value = ClusterSpec> {
-    (1usize..8, 1usize..12, 1usize..9, 1u32..21, 1u32..11).prop_map(
-        |(racks, spr, gps, oversub, pat)| ClusterSpec {
+    (1usize..8, 1usize..12, 1usize..9, 1u32..21, 1u32..11, 0usize..4).prop_map(
+        |(racks, spr, gps, oversub, pat, rpp)| ClusterSpec {
             racks,
             servers_per_rack: spr,
             gpus_per_server: gps,
@@ -13,6 +13,7 @@ fn arb_spec() -> impl Strategy<Value = ClusterSpec> {
             pat_gbps: pat as f64 * 100.0,
             oversubscription: oversub as f64,
             rtt_us: 50.0,
+            racks_per_pod: (rpp > 0).then_some(rpp),
         },
     )
 }
@@ -40,6 +41,22 @@ proptest! {
             prop_assert!((rack.uplink_gbps() - spec.rack_uplink_gbps()).abs() < 1e-9);
         }
         prop_assert_eq!(covered, c.num_servers());
+        // Pod ranges partition both index spaces contiguously.
+        let mut covered_racks = 0;
+        let mut covered_servers = 0;
+        for p in 0..c.num_pods() {
+            let rr = c.pod_rack_range(p);
+            prop_assert_eq!(rr.start, covered_racks);
+            covered_racks = rr.end;
+            let sr = c.pod_server_range(p);
+            prop_assert_eq!(sr.start, covered_servers);
+            covered_servers = sr.end;
+            for r in rr {
+                prop_assert_eq!(c.pod_of_rack(netpack_topology::RackId(r)), p);
+            }
+        }
+        prop_assert_eq!(covered_racks, c.num_racks());
+        prop_assert_eq!(covered_servers, c.num_servers());
     }
 
     /// Link indexing is a bijection over [0, num_links).

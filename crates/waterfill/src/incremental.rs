@@ -108,6 +108,11 @@ pub struct IncrementalEstimator {
     /// The converged steady state over all pushed jobs.
     state: SteadyState,
     stats: WaterfillStats,
+    /// Arena for the dirty component's member indices, reused across
+    /// pushes so the placement hot loop allocates nothing here.
+    scratch_members: Vec<usize>,
+    /// Arena for the dirty component's resource nodes, ditto.
+    scratch_dirty: Vec<usize>,
 }
 
 impl IncrementalEstimator {
@@ -136,6 +141,8 @@ impl IncrementalEstimator {
             dsu,
             state,
             stats,
+            scratch_members: Vec::new(),
+            scratch_dirty: Vec::new(),
         }
     }
 
@@ -182,7 +189,8 @@ impl IncrementalEstimator {
         // Member jobs of the (possibly merged) dirty component, in global
         // insertion order — the same order a from-scratch solve would use.
         let root = self.dsu.find(anchor);
-        let mut members: Vec<usize> = Vec::new();
+        let mut members = std::mem::take(&mut self.scratch_members);
+        members.clear();
         for (i, nodes) in self.job_nodes.iter().enumerate() {
             if let Some(&first) = nodes.first() {
                 if self.dsu.find(first) == root {
@@ -194,13 +202,12 @@ impl IncrementalEstimator {
         // Reset exactly the dirty component's resources to virgin capacity;
         // resource nodes of other components are disjoint and untouched.
         let n_links = cluster.num_links();
-        let mut dirty: Vec<usize> = members
-            .iter()
-            .flat_map(|&i| self.job_nodes[i].iter().copied())
-            .collect();
+        let mut dirty = std::mem::take(&mut self.scratch_dirty);
+        dirty.clear();
+        dirty.extend(members.iter().flat_map(|&i| self.job_nodes[i].iter().copied()));
         dirty.sort_unstable();
         dirty.dedup();
-        for node in dirty {
+        for &node in &dirty {
             if node < n_links {
                 self.state.link_residual[node] = link_capacity(cluster, node);
                 self.state.link_flows[node] = 0;
@@ -215,6 +222,8 @@ impl IncrementalEstimator {
         self.stats.components_solved += 1;
         self.stats.jobs_resolved += refs.len() as u64;
         self.stats.jobs_reused += self.network_job_count() - refs.len() as u64;
+        self.scratch_members = members;
+        self.scratch_dirty = dirty;
     }
 
     /// Remove the job `id` and re-solve only the component it leaves.
@@ -359,6 +368,7 @@ mod tests {
             pat_gbps: pat,
             oversubscription: 1.0,
             rtt_us: 50.0,
+            racks_per_pod: None,
         })
     }
 

@@ -447,6 +447,7 @@ mod tests {
             pat_gbps: pat,
             oversubscription: 1.0,
             rtt_us: 50.0,
+            racks_per_pod: None,
         })
     }
 
@@ -557,6 +558,7 @@ mod tests {
             pat_gbps: 0.0,
             oversubscription: 10.0,
             rtt_us: 50.0,
+            racks_per_pod: None,
         };
         spec.validate().unwrap();
         let c = Cluster::new(spec);

@@ -52,6 +52,7 @@ fn arb_cluster() -> impl Strategy<Value = Cluster> {
                 pat_gbps: 50.0 * pat_scale as f64,
                 oversubscription: oversub as f64,
                 rtt_us: 50.0,
+                racks_per_pod: None,
             })
         },
     )
@@ -268,6 +269,7 @@ proptest! {
                 pat_gbps: 75.0,
                 oversubscription: 2.0,
                 rtt_us: 50.0,
+                racks_per_pod: None,
             };
             let c = Cluster::new(spec.clone());
             let jobs = arb_jobs(&c);

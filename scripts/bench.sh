@@ -6,6 +6,8 @@
 # every measured cell appends a row, then validates the file:
 #   * table_mip_vs_dp      — exact bnb vs scratch vs DP per instance
 #   * fig10_placement_time — NetPack DP wall-clock per (servers, jobs) cell
+#   * fig10_xl             — 100 jobs on a 50K-server fat-tree, both
+#                            NETPACK_TOPO modes (flat must stay < 1 s)
 #
 # Usage: scripts/bench.sh [output.json]   (default results/BENCH_placement.json)
 set -euo pipefail
@@ -21,5 +23,7 @@ echo "bench: table_mip_vs_dp (bnb + capped scratch + dp)"
 NETPACK_BENCH_JSON="$out" ./target/release/table_mip_vs_dp > /dev/null
 echo "bench: fig10_placement_time (quick grid)"
 NETPACK_BENCH_JSON="$out" NETPACK_QUICK=1 ./target/release/fig10_placement_time > /dev/null
+echo "bench: fig10_xl (50K-server warehouse cell, struct + flat)"
+NETPACK_BENCH_JSON="$out" ./target/release/fig10_xl > /dev/null
 
 ./target/release/bench_json_check "$out"

@@ -7,7 +7,8 @@
 # determinism/numeric-safety static pass; any finding not grandfathered in
 # lint-baseline.txt fails), the exact-placer two-mode smoke
 # (NETPACK_EXACT=bnb vs scratch must be byte-identical), the full
-# workspace test suite, the doctests, and the fig9/fig14 two-mode smokes.
+# workspace test suite, the doctests, and the fig9/fig10_xl/fig14
+# two-mode smokes.
 # Keep this list in sync with README.md.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -57,6 +58,15 @@ if ! diff <(printf '%s\n' "$smoke_inc") <(printf '%s\n' "$smoke_scr"); then
     exit 1
 fi
 printf '%s\n' "$smoke_inc"
+
+echo "==> fig10_xl smoke: flat vs struct topology placements must match"
+topo_flat=$(NETPACK_SMOKE=1 NETPACK_TOPO=flat ./target/release/fig10_xl)
+topo_struct=$(NETPACK_SMOKE=1 NETPACK_TOPO=struct ./target/release/fig10_xl)
+if ! diff <(printf '%s\n' "$topo_flat") <(printf '%s\n' "$topo_struct"); then
+    echo "check.sh: fig10_xl smoke DIVERGED between NETPACK_TOPO modes" >&2
+    exit 1
+fi
+printf '%s\n' "$topo_flat"
 
 echo "==> fig14 smoke: fast vs scratch packet path must match (stdout + CSV)"
 pkt_fast=$(NETPACK_PKT=fast NETPACK_CSV_DIR="$pkt_dir/fast" \
