@@ -1,28 +1,55 @@
-//! Validate a `BENCH_*.json` JSON-Lines file against the [`BenchRow`]
-//! schema (DESIGN.md §3.10). Exits non-zero with the first violation —
-//! the last step of `scripts/bench.sh`.
+//! Validate a `BENCH_*.json` JSON-Lines file — the last step of
+//! `scripts/bench.sh`. Exits non-zero with the first violation.
 //!
-//! Usage: `bench_json_check [path]` (default
+//! The schema is picked by file name: paths whose base name contains
+//! `service` are checked against the [`ServiceRow`] schema (DESIGN.md
+//! §3.12), everything else against [`BenchRow`] (DESIGN.md §3.10).
+//!
+//! Usage: `bench_json_check [path...]` (default
 //! `results/BENCH_placement.json`).
+//!
+//! [`ServiceRow`]: netpack_bench::ServiceRow
+//! [`BenchRow`]: netpack_bench::BenchRow
 
-use netpack_bench::validate_bench_jsonl;
+use netpack_bench::{validate_bench_jsonl, validate_service_jsonl};
 
-fn main() {
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "results/BENCH_placement.json".to_string());
-    let text = match std::fs::read_to_string(&path) {
+fn check_one(path: &str) -> bool {
+    let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
         Err(e) => {
             eprintln!("{path}: cannot read: {e}");
-            std::process::exit(1);
+            return false;
         }
     };
-    match validate_bench_jsonl(&text) {
-        Ok(rows) => println!("{path}: {rows} rows OK"),
+    let base = std::path::Path::new(path)
+        .file_name()
+        .map(|n| n.to_string_lossy().to_lowercase())
+        .unwrap_or_default();
+    let (schema, result) = if base.contains("service") {
+        ("service", validate_service_jsonl(&text))
+    } else {
+        ("placement", validate_bench_jsonl(&text))
+    };
+    match result {
+        Ok(rows) => {
+            println!("{path}: {rows} rows OK ({schema} schema)");
+            true
+        }
         Err(e) => {
             eprintln!("{path}: {e}");
-            std::process::exit(1);
+            false
         }
+    }
+}
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    let paths = if paths.is_empty() {
+        vec!["results/BENCH_placement.json".to_string()]
+    } else {
+        paths
+    };
+    if !paths.iter().all(|p| check_one(p)) {
+        std::process::exit(1);
     }
 }

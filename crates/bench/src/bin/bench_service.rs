@@ -1,0 +1,203 @@
+//! Sustained placement throughput of the continuous placement service.
+//!
+//! Replays an open-loop Philly-style (`TraceKind::Real`) trace over the
+//! Fig. 10 cluster (16 racks × 16 servers × 4 GPUs) through
+//! `netpack-service`: submissions arrive in trace order, each job's
+//! completion is injected at its ideal finish time, and the two streams
+//! are merged in virtual-time order so the service sees the same churn a
+//! live cluster would — just as fast as it can drain it. Reported per
+//! mode: sustained placements/sec and the submit-to-placement latency
+//! percentiles (p50/p99/p999), appended to `results/BENCH_service.json`
+//! when `NETPACK_BENCH_JSON` is set.
+//!
+//! Modes:
+//!
+//! * `threaded` (default) — the real [`PlacementService`] thread behind
+//!   its bounded command channel, adaptive batch sizing on.
+//! * `deterministic` (`NETPACK_SERVICE_MODE=deterministic`, forced by
+//!   `NETPACK_SMOKE=1`) — the [`ServiceCore`] driven synchronously with a
+//!   fixed drain quantum; byte-reproducible, and with
+//!   `NETPACK_SERVICE_EVENT_LOG=<path>` the full event log is written for
+//!   `scripts/check.sh` to diff across runs.
+//!
+//! Scale with `NETPACK_QUICK=1` (50K jobs) or `NETPACK_SMOKE=1`
+//! (10K jobs, deterministic); the default is the 1M-job acceptance run.
+
+use netpack_bench::{emit_service_row, quick, ServiceRow};
+use netpack_metrics::{LatencyHistogram, Stopwatch, TextTable};
+use netpack_service::{Command, PlacementService, ServiceConfig, ServiceCore, ServiceReport};
+use netpack_topology::{Cluster, ClusterSpec, JobId};
+use netpack_workload::{Trace, TraceKind, TraceSpec};
+
+fn smoke() -> bool {
+    std::env::var("NETPACK_SMOKE").is_ok_and(|v| v != "0")
+}
+
+/// The Fig. 10 evaluation cluster: 16 racks × 16 servers × 4 GPUs.
+fn spec() -> ClusterSpec {
+    ClusterSpec::paper_default()
+}
+
+/// Open-loop Philly-style trace tuned to ~85% offered GPU load, so the
+/// service churns continuously without the queue diverging.
+fn service_trace(spec: &ClusterSpec, jobs: usize, seed: u64) -> Trace {
+    let duration_scale = 0.3;
+    // Log-normal mean duration: median 480 s, sigma 1.1 (see TraceSpec).
+    let mean_duration_s = 480.0 * (1.1f64 * 1.1 / 2.0).exp() * duration_scale;
+    let mean_gpus = 4.5;
+    let utilization_target = 0.85;
+    let interarrival = mean_gpus * mean_duration_s / (spec.total_gpus() as f64 * utilization_target);
+    TraceSpec::new(TraceKind::Real, jobs)
+        .seed(seed)
+        .open_loop()
+        .mean_interarrival_s(interarrival)
+        .duration_scale(duration_scale)
+        .max_gpus(64)
+        .generate()
+}
+
+/// The merged command schedule: submissions in arrival order interleaved
+/// with completions at `arrival + ideal_time` in virtual-time order. The
+/// closure receives each command as it becomes due.
+fn replay(trace: &Trace, mut issue: impl FnMut(Command)) {
+    let jobs = trace.jobs();
+    let mut completions: Vec<(f64, JobId)> = jobs
+        .iter()
+        .map(|j| (j.arrival_s + j.ideal_time_s(), j.id))
+        .collect();
+    completions.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut next_done = 0usize;
+    for job in jobs {
+        while next_done < completions.len() && completions[next_done].0 <= job.arrival_s {
+            issue(Command::Complete(completions[next_done].1));
+            next_done += 1;
+        }
+        issue(Command::Submit(job.clone()));
+    }
+    for &(_, id) in &completions[next_done..] {
+        issue(Command::Complete(id));
+    }
+}
+
+fn run_threaded(trace: &Trace, config: ServiceConfig) -> (ServiceReport, f64) {
+    let svc = PlacementService::spawn(Cluster::new(spec()), config);
+    let wall = Stopwatch::start();
+    replay(trace, |cmd| {
+        // Blocking send: a full channel is the service's backpressure
+        // slowing the open-loop driver down, which is part of the measure.
+        let _ = svc.send(cmd);
+    });
+    let report = svc.shutdown();
+    let wall_s = wall.elapsed_s();
+    (report, wall_s)
+}
+
+fn run_deterministic(trace: &Trace, config: ServiceConfig) -> (ServiceReport, f64) {
+    // Fixed drain quantum instead of wall-clock-adaptive batching: the
+    // command schedule — and therefore the event log — depends only on
+    // the trace.
+    let quantum = config.max_batch;
+    let mut core = ServiceCore::new(Cluster::new(spec()), config);
+    let wall = Stopwatch::start();
+    let mut since_pass = 0usize;
+    replay(trace, |cmd| {
+        core.apply(cmd);
+        since_pass += 1;
+        if since_pass == quantum {
+            let _ = core.place_pass();
+            since_pass = 0;
+        }
+    });
+    while core.pending_len() > 0 && core.place_pass() > 0 {}
+    let wall_s = wall.elapsed_s();
+    (core.finish(), wall_s)
+}
+
+fn percentiles_us(hist: Option<&LatencyHistogram>) -> (u64, u64, u64) {
+    match hist {
+        Some(h) => (h.p50() / 1_000, h.p99() / 1_000, h.p999() / 1_000),
+        None => (0, 0, 0),
+    }
+}
+
+fn main() {
+    let jobs = if smoke() {
+        10_000
+    } else if quick() {
+        50_000
+    } else {
+        1_000_000
+    };
+    let mut config = ServiceConfig::from_env();
+    if smoke() {
+        config.deterministic = true;
+    }
+    let mode = if config.deterministic { "deterministic" } else { "threaded" };
+    let trace = service_trace(&spec(), jobs, 1);
+
+    println!("bench_service — open-loop Philly trace, Fig. 10 cluster ({} GPUs)", spec().total_gpus());
+    println!("jobs={jobs} mode={mode}\n");
+
+    let (report, wall_s) = if config.deterministic {
+        run_deterministic(&trace, config)
+    } else {
+        run_threaded(&trace, config)
+    };
+
+    let placed = report.counters.placed;
+    let throughput = placed as f64 / wall_s.max(1e-9);
+    let (p50_us, p99_us, p999_us) = percentiles_us(report.perf.latency("placement_latency"));
+
+    let mut table = TextTable::new(vec!["metric", "value"]);
+    let c = &report.counters;
+    table.row(vec!["submitted".into(), c.submitted.to_string()]);
+    table.row(vec!["placed".into(), placed.to_string()]);
+    table.row(vec!["deferrals".into(), c.deferrals.to_string()]);
+    table.row(vec!["rejected".into(), c.rejected.to_string()]);
+    table.row(vec!["completed".into(), c.completed.to_string()]);
+    table.row(vec!["completed pending".into(), c.completed_pending.to_string()]);
+    table.row(vec!["batches".into(), c.batches.to_string()]);
+    table.row(vec!["max queue depth".into(), c.max_queue_depth.to_string()]);
+    table.row(vec!["running at shutdown".into(), report.running_left.to_string()]);
+    table.row(vec!["pending at shutdown".into(), report.pending_left.to_string()]);
+    if !smoke() {
+        // Wall-clock rows stay out of the smoke digest so the determinism
+        // gate can byte-diff stdout across runs.
+        table.row(vec!["wall (s)".into(), format!("{wall_s:.3}")]);
+        table.row(vec!["placements/sec".into(), format!("{throughput:.0}")]);
+        table.row(vec!["p50 latency (us)".into(), p50_us.to_string()]);
+        table.row(vec!["p99 latency (us)".into(), p99_us.to_string()]);
+        table.row(vec!["p999 latency (us)".into(), p999_us.to_string()]);
+    }
+    println!("{table}");
+
+    if std::env::var("NETPACK_SERVICE_PERF").is_ok_and(|v| v != "0") {
+        println!("perf counters (service + placer):");
+        println!("{}", report.perf.to_table().render());
+    }
+
+    if let Ok(path) = std::env::var("NETPACK_SERVICE_EVENT_LOG") {
+        if !path.is_empty() && path != "0" && path != "1" {
+            let mut text = report.events.join("\n");
+            text.push('\n');
+            std::fs::write(&path, text).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            // stderr, not stdout: the determinism gate byte-diffs stdout
+            // across runs that write to different log paths.
+            eprintln!("event log: {} lines -> {path}", report.events.len());
+        }
+    }
+
+    emit_service_row(&ServiceRow {
+        bench: "bench_service",
+        instance: format!("fig10/jobs={jobs}"),
+        mode: mode.to_string(),
+        wall_s,
+        placed,
+        rejected: c.rejected,
+        deferrals: c.deferrals,
+        throughput_per_s: throughput,
+        p50_us,
+        p99_us,
+        p999_us,
+    });
+}

@@ -325,6 +325,162 @@ pub fn emit_bench_row(row: &BenchRow) {
     }
 }
 
+/// One machine-readable service-throughput measurement — a line of
+/// `results/BENCH_service.json`.
+///
+/// The schema (documented in DESIGN.md §3.12) is JSON Lines like
+/// [`BenchRow`]'s, with service-shaped columns: the sustained placement
+/// throughput of one `bench_service` run plus the submit-to-placement
+/// latency percentiles and the backpressure counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceRow {
+    /// Source binary, e.g. `"bench_service"`.
+    pub bench: &'static str,
+    /// Instance label, e.g. `"fig10/jobs=1000000"`.
+    pub instance: String,
+    /// Driver variant: `"threaded"` or `"deterministic"`.
+    pub mode: String,
+    /// Wall-clock seconds for the whole run.
+    pub wall_s: f64,
+    /// Jobs placed.
+    pub placed: u64,
+    /// Submissions rejected by queue backpressure.
+    pub rejected: u64,
+    /// Defer events (jobs returning to the queue after a full pass).
+    pub deferrals: u64,
+    /// Sustained placements per second (`placed / wall_s`).
+    pub throughput_per_s: f64,
+    /// Median submit-to-placement latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+    /// 99.9th-percentile latency, microseconds.
+    pub p999_us: u64,
+}
+
+impl ServiceRow {
+    /// Serialize as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let clamp = |v: f64| if v.is_finite() && v >= 0.0 { v } else { 0.0 };
+        format!(
+            "{{\"bench\":{},\"instance\":{},\"mode\":{},\"wall_s\":{},\"placed\":{},\"rejected\":{},\"deferrals\":{},\"throughput_per_s\":{},\"p50_us\":{},\"p99_us\":{},\"p999_us\":{}}}",
+            json_string(self.bench),
+            json_string(&self.instance),
+            json_string(&self.mode),
+            clamp(self.wall_s),
+            self.placed,
+            self.rejected,
+            self.deferrals,
+            clamp(self.throughput_per_s),
+            self.p50_us,
+            self.p99_us,
+            self.p999_us,
+        )
+    }
+}
+
+/// Append `row` to the file named by `NETPACK_BENCH_JSON` (one JSON object
+/// per line), like [`emit_bench_row`] but for the service schema. A no-op
+/// when the variable is unset or empty.
+pub fn emit_service_row(row: &ServiceRow) {
+    if let Ok(path) = std::env::var("NETPACK_BENCH_JSON") {
+        if !path.is_empty() {
+            use std::io::Write;
+            let mut line = row.to_json();
+            line.push('\n');
+            let mut file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .unwrap_or_else(|e| panic!("opening {path}: {e}"));
+            file.write_all(line.as_bytes())
+                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        }
+    }
+}
+
+/// Validate a `BENCH_service.json` JSON-Lines document against the
+/// [`ServiceRow`] schema; returns the row count. Picked by the
+/// `bench_json_check` binary for paths whose file name contains
+/// `service`.
+pub fn validate_service_jsonl(text: &str) -> Result<usize, String> {
+    let mut rows = 0;
+    for (n, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        validate_service_line(line).map_err(|e| format!("line {}: {e}", n + 1))?;
+        rows += 1;
+    }
+    if rows == 0 {
+        return Err("no rows".to_string());
+    }
+    Ok(rows)
+}
+
+fn validate_service_line(line: &str) -> Result<(), String> {
+    let fields = parse_flat_json_object(line)?;
+    const KEYS: [&str; 11] = [
+        "bench",
+        "instance",
+        "mode",
+        "wall_s",
+        "placed",
+        "rejected",
+        "deferrals",
+        "throughput_per_s",
+        "p50_us",
+        "p99_us",
+        "p999_us",
+    ];
+    for key in KEYS {
+        if !fields.iter().any(|(k, _)| k == key) {
+            return Err(format!("missing key {key:?}"));
+        }
+    }
+    let mut quantiles = [0.0f64; 3];
+    for (key, value) in &fields {
+        match (key.as_str(), value) {
+            ("bench" | "instance" | "mode", JsonValue::Str(s)) => {
+                if s.is_empty() {
+                    return Err(format!("{key:?} must be a non-empty string"));
+                }
+            }
+            ("wall_s" | "throughput_per_s", JsonValue::Num(v)) => {
+                if !v.is_finite() || *v < 0.0 {
+                    return Err(format!("{key:?} must be finite and >= 0, got {v}"));
+                }
+            }
+            (
+                "placed" | "rejected" | "deferrals" | "p50_us" | "p99_us" | "p999_us",
+                JsonValue::Num(v),
+            ) => {
+                if !v.is_finite() || *v < 0.0 || v.fract() != 0.0 {
+                    return Err(format!("{key:?} must be a non-negative integer, got {v}"));
+                }
+                match key.as_str() {
+                    "p50_us" => quantiles[0] = *v,
+                    "p99_us" => quantiles[1] = *v,
+                    "p999_us" => quantiles[2] = *v,
+                    _ => {}
+                }
+            }
+            (other, _) if !KEYS.contains(&other) => {
+                return Err(format!("unknown key {other:?}"));
+            }
+            (other, _) => return Err(format!("wrong type for key {other:?}")),
+        }
+    }
+    if !(quantiles[0] <= quantiles[1] && quantiles[1] <= quantiles[2]) {
+        return Err(format!(
+            "latency percentiles must be non-decreasing, got p50={} p99={} p999={}",
+            quantiles[0], quantiles[1], quantiles[2]
+        ));
+    }
+    Ok(())
+}
+
 /// Validate a `BENCH_*.json` JSON-Lines document against the schema in
 /// [`BenchRow`]; returns the row count. Used by the `bench_json_check`
 /// binary at the end of `scripts/bench.sh`.
@@ -586,6 +742,51 @@ mod tests {
         assert!(validate_bench_jsonl(negative).is_err());
         assert!(validate_bench_jsonl("not json").is_err());
         assert!(validate_bench_jsonl("").is_err());
+    }
+
+    fn sample_service_row() -> ServiceRow {
+        ServiceRow {
+            bench: "bench_service",
+            instance: "fig10/jobs=1000000".to_string(),
+            mode: "threaded".to_string(),
+            wall_s: 8.25,
+            placed: 999_000,
+            rejected: 120,
+            deferrals: 4_500,
+            throughput_per_s: 121_090.9,
+            p50_us: 180,
+            p99_us: 2_400,
+            p999_us: 9_100,
+        }
+    }
+
+    #[test]
+    fn service_row_json_round_trips_through_the_validator() {
+        let json = sample_service_row().to_json();
+        assert!(json.contains("\"throughput_per_s\":121090.9"));
+        assert_eq!(validate_service_jsonl(&json), Ok(1));
+        let doc = format!("{json}\n\n{json}\n");
+        assert_eq!(validate_service_jsonl(&doc), Ok(2));
+    }
+
+    #[test]
+    fn service_validator_rejects_schema_violations() {
+        // A BenchRow is not a ServiceRow.
+        assert!(validate_service_jsonl(&sample_row().to_json()).is_err());
+        // Missing percentile.
+        let missing = sample_service_row().to_json().replace(",\"p999_us\":9100", "");
+        assert!(validate_service_jsonl(&missing).is_err());
+        // Non-monotone percentiles.
+        let inverted = ServiceRow {
+            p99_us: 10_000,
+            ..sample_service_row()
+        };
+        assert!(validate_service_jsonl(&inverted.to_json())
+            .is_err_and(|e| e.contains("non-decreasing")));
+        // Fractional counter and empty document.
+        let fractional = sample_service_row().to_json().replace("\"placed\":999000", "\"placed\":99.5");
+        assert!(validate_service_jsonl(&fractional).is_err());
+        assert!(validate_service_jsonl("").is_err());
     }
 
     #[test]

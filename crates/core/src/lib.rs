@@ -37,4 +37,4 @@
 
 mod manager;
 
-pub use manager::{JobManager, ManagerConfig, ManagerError};
+pub use manager::{Cancelled, JobManager, ManagerConfig, ManagerError};

@@ -28,14 +28,15 @@ pub const RULES: [&str; 5] = ["D1", "D2", "D3", "N1", "E1"];
 /// Crates whose non-test code must not iterate hash-ordered containers
 /// (rule D1): the simulation / placement / reporting pipeline where
 /// iteration order reaches results.
-pub const D1_CRATES: [&str; 5] = ["waterfill", "flowsim", "packetsim", "placement", "core"];
+pub const D1_CRATES: [&str; 6] =
+    ["waterfill", "flowsim", "packetsim", "placement", "core", "service"];
 
 /// Library crates where new panics are forbidden (rule E1). `bench` and
 /// `cli` are driver/report binaries where aborting on a malformed flag or
 /// an unwritable CSV directory is the intended behavior.
-pub const E1_CRATES: [&str; 9] = [
+pub const E1_CRATES: [&str; 10] = [
     "topology", "workload", "model", "waterfill", "placement", "core", "flowsim", "packetsim",
-    "metrics",
+    "metrics", "service",
 ];
 
 /// Per-file inputs shared by all rules.

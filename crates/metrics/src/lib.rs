@@ -21,12 +21,14 @@
 //! placer fills while scoring candidates, rendered through the same
 //! [`TextTable`] as everything else.
 
+mod hist;
 mod perf;
 mod regression;
 mod stats;
 mod sweep;
 mod table;
 
+pub use hist::{LatencyHistogram, SUB_BUCKETS};
 pub use perf::{PerfCounters, Stopwatch};
 pub use regression::{linear_fit, LinearFit};
 pub use stats::{normalize_to, Summary};

@@ -31,6 +31,7 @@
 //! assert!(rendered.contains("scoring"));
 //! ```
 
+use crate::hist::LatencyHistogram;
 use crate::TextTable;
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
@@ -77,6 +78,10 @@ impl Stopwatch {
 pub struct PerfCounters {
     counters: BTreeMap<&'static str, u64>,
     timers: BTreeMap<&'static str, TimerSlot>,
+    /// Named latency distributions (p50/p99/p999), fed by
+    /// [`record_latency`](Self::record_latency). Unlike timers, which
+    /// keep only totals, these answer percentile queries.
+    hists: BTreeMap<&'static str, LatencyHistogram>,
 }
 
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -126,18 +131,31 @@ impl PerfCounters {
         self.timers.get(name).map(|s| s.count).unwrap_or(0)
     }
 
-    /// True when nothing has been recorded.
-    pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.timers.is_empty()
+    /// Record one latency sample into the histogram `name` (creating it
+    /// empty). Durations are bucketed in nanoseconds with ~3% relative
+    /// error — see [`LatencyHistogram`].
+    pub fn record_latency(&mut self, name: &'static str, elapsed: Duration) {
+        self.hists.entry(name).or_default().record_duration(elapsed);
     }
 
-    /// Reset every counter and timer to zero while keeping the instance.
+    /// The latency histogram `name`, if any sample was recorded under it.
+    pub fn latency(&self, name: &'static str) -> Option<&LatencyHistogram> {
+        self.hists.get(name)
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.timers.is_empty() && self.hists.is_empty()
+    }
+
+    /// Reset every counter, timer, and histogram while keeping the instance.
     pub fn clear(&mut self) {
         self.counters.clear();
         self.timers.clear();
+        self.hists.clear();
     }
 
-    /// Fold `other`'s counters and timers into `self`.
+    /// Fold `other`'s counters, timers, and histograms into `self`.
     pub fn merge(&mut self, other: &PerfCounters) {
         for (name, v) in &other.counters {
             *self.counters.entry(name).or_insert(0) += v;
@@ -146,6 +164,9 @@ impl PerfCounters {
             let mine = self.timers.entry(name).or_default();
             mine.total += slot.total;
             mine.count += slot.count;
+        }
+        for (name, hist) in &other.hists {
+            self.hists.entry(name).or_default().merge(hist);
         }
     }
 
@@ -170,6 +191,15 @@ impl PerfCounters {
                 format!("{total_ms:.3}"),
                 slot.count.to_string(),
                 format!("{mean_us:.1} us"),
+            ]);
+        }
+        for (name, h) in &self.hists {
+            let us = |ns: u64| ns as f64 / 1e3;
+            t.row(vec![
+                format!("{name} p50/p99/p999 (us)"),
+                format!("{:.1}/{:.1}/{:.1}", us(h.p50()), us(h.p99()), us(h.p999())),
+                h.count().to_string(),
+                format!("{:.1} us", h.mean() / 1e3),
             ]);
         }
         t
@@ -228,6 +258,25 @@ mod tests {
         let b = w.elapsed();
         assert!(b >= a);
         assert!(w.elapsed_s() >= 0.0);
+    }
+
+    #[test]
+    fn latency_histograms_record_merge_and_render() {
+        let mut p = PerfCounters::new();
+        assert!(p.latency("place").is_none());
+        p.record_latency("place", Duration::from_micros(100));
+        p.record_latency("place", Duration::from_micros(300));
+        let h = p.latency("place").unwrap();
+        assert_eq!(h.count(), 2);
+        assert!(h.min().unwrap() >= 100_000);
+        let mut q = PerfCounters::new();
+        q.record_latency("place", Duration::from_micros(200));
+        p.merge(&q);
+        assert_eq!(p.latency("place").unwrap().count(), 3);
+        let rendered = p.to_table().render();
+        assert!(rendered.contains("place p50/p99/p999 (us)"));
+        p.clear();
+        assert!(p.is_empty());
     }
 
     #[test]

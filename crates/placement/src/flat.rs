@@ -134,7 +134,7 @@ impl FlatBatch {
     /// Debit the ledger for a placement. Returns `false` (committing
     /// nothing) if any worker would overdraw — the DP guarantees this
     /// never happens, but the ledger refuses rather than panics.
-    fn commit(&mut self, placement: &Placement) -> bool {
+    pub(crate) fn commit(&mut self, placement: &Placement) -> bool {
         let fits = placement
             .workers()
             .iter()
@@ -146,6 +146,21 @@ impl FlatBatch {
             self.gpus_free[s.0] -= w as u32;
         }
         true
+    }
+
+    /// Credit `w` GPUs back to `server` — the inverse of one
+    /// [`commit`](Self::commit) entry, used by the persistent session when
+    /// a running job completes.
+    pub(crate) fn credit(&mut self, server: ServerId, w: usize) {
+        self.gpus_free[server.0] += w as u32;
+    }
+
+    /// Credit every worker of `placement` back — the full inverse of
+    /// [`commit`](Self::commit), for rollback.
+    pub(crate) fn credit_placement(&mut self, placement: &Placement) {
+        for &(s, w) in placement.workers() {
+            self.credit(s, w);
+        }
     }
 
     /// Bucket every server by [`ClassKey`] for the current steady state.
@@ -319,7 +334,7 @@ impl NetPackPlacer {
 
     /// `place_one` over the flat arrays: identical algorithm, integer
     /// indices, pod-sharded selection, deduplicated scoring.
-    fn place_one_flat(
+    pub(crate) fn place_one_flat(
         &self,
         fb: &mut FlatBatch,
         cluster: &Cluster,

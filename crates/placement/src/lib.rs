@@ -80,6 +80,7 @@ mod netpack;
 mod placer;
 mod prior;
 mod select;
+mod session;
 
 pub use baselines::{FlowBalance, GpuBalance, LeastFragmentation, RandomPlacer};
 pub use dp::{ServerStats, WorkerDp, WorkerPlan};
@@ -90,3 +91,4 @@ pub use netpack_topology::TopoMode;
 pub use select::CandidateFilter;
 pub use placer::{batch_comm_time_s, BatchOutcome, Placer, RunningJob};
 pub use prior::{Comb, OptimusLike, TetrisLike};
+pub use session::{NetPackSession, SessionError};

@@ -1,0 +1,158 @@
+//! Service tunables and their `NETPACK_SERVICE_*` environment knobs.
+
+use netpack_placement::NetPackConfig;
+use std::time::Duration;
+
+/// Tunables of the placement service (see the [crate docs](crate) for the
+/// architecture). Every field has a `NETPACK_SERVICE_*` environment
+/// override read by [`ServiceConfig::from_env`]; unset or unparsable
+/// variables keep the default.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Smallest command batch the drain loop settles for
+    /// (`NETPACK_SERVICE_BATCH_MIN`, default 1).
+    pub min_batch: usize,
+    /// Hard cap on commands drained per batch
+    /// (`NETPACK_SERVICE_BATCH_MAX`, default 256).
+    pub max_batch: usize,
+    /// Target upper bound on the placement work of one batch; the
+    /// adaptive limit divides this by the observed per-job cost
+    /// (`NETPACK_SERVICE_LATENCY_BUDGET_US`, default 2000 µs).
+    pub latency_budget: Duration,
+    /// Pending-queue backpressure bound: submissions beyond this are
+    /// rejected and counted (`NETPACK_SERVICE_QUEUE_CAP`, default 65536).
+    pub queue_cap: usize,
+    /// Command-channel depth in threaded mode; a full channel pushes
+    /// back on submitters (`NETPACK_SERVICE_CHANNEL_CAP`, default 1024).
+    pub channel_cap: usize,
+    /// Deterministic mode (`NETPACK_SERVICE_MODE=deterministic`): batch
+    /// sizing ignores wall-clock cost so identical command streams drain
+    /// identically, making the event log byte-reproducible.
+    pub deterministic: bool,
+    /// Record one event-log line per submit/place/defer/complete/cancel
+    /// (`NETPACK_SERVICE_EVENT_LOG=1`). Off by default: a million-job
+    /// bench would otherwise spend its time formatting strings.
+    pub event_log: bool,
+    /// Additive value bump for every deferred job, re-applied each pass —
+    /// the same starvation-avoidance aging the `JobManager` uses.
+    pub aging_value_bump: f64,
+    /// Placer configuration. Topology and scoring mode are forced to the
+    /// flat fast path by the session regardless of what is set here.
+    pub placer: NetPackConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            min_batch: 1,
+            max_batch: 256,
+            latency_budget: Duration::from_micros(2_000),
+            queue_cap: 65_536,
+            channel_cap: 1_024,
+            deterministic: false,
+            event_log: false,
+            aging_value_bump: 0.5,
+            placer: NetPackConfig::default(),
+        }
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+impl ServiceConfig {
+    /// Defaults overridden by the `NETPACK_SERVICE_*` environment
+    /// variables (see each field's doc). Unset or malformed variables
+    /// fall back silently — the service must come up under a stray
+    /// environment, and the effective config is visible via `Debug`.
+    pub fn from_env() -> Self {
+        let mut cfg = ServiceConfig::default();
+        if let Some(v) = env_usize("NETPACK_SERVICE_BATCH_MIN") {
+            cfg.min_batch = v.max(1);
+        }
+        if let Some(v) = env_usize("NETPACK_SERVICE_BATCH_MAX") {
+            cfg.max_batch = v.max(1);
+        }
+        if let Some(v) = env_usize("NETPACK_SERVICE_LATENCY_BUDGET_US") {
+            cfg.latency_budget = Duration::from_micros(v as u64);
+        }
+        if let Some(v) = env_usize("NETPACK_SERVICE_QUEUE_CAP") {
+            cfg.queue_cap = v.max(1);
+        }
+        if let Some(v) = env_usize("NETPACK_SERVICE_CHANNEL_CAP") {
+            cfg.channel_cap = v.max(1);
+        }
+        if let Ok(mode) = std::env::var("NETPACK_SERVICE_MODE") {
+            cfg.deterministic = mode.trim().eq_ignore_ascii_case("deterministic");
+        }
+        if let Ok(v) = std::env::var("NETPACK_SERVICE_EVENT_LOG") {
+            let v = v.trim();
+            cfg.event_log = !v.is_empty() && v != "0";
+        }
+        if cfg.min_batch > cfg.max_batch {
+            cfg.min_batch = cfg.max_batch;
+        }
+        cfg
+    }
+}
+
+/// Commands the drain loop accepts before placing the next batch: the
+/// latency budget divided by the observed per-job placement cost, clamped
+/// to `[min_batch, max_batch]`. With no cost estimate yet — or in
+/// deterministic mode, where wall-clock must not steer behavior — the
+/// limit is `max_batch`, so batch size is then governed purely by queue
+/// depth (the drain never waits for commands that aren't there).
+pub fn adaptive_batch_limit(cost_ewma_s: f64, cfg: &ServiceConfig) -> usize {
+    // NaN and zero both mean "no usable estimate yet".
+    let no_estimate = !cost_ewma_s.is_finite() || cost_ewma_s <= 0.0;
+    if cfg.deterministic || no_estimate {
+        return cfg.max_batch;
+    }
+    let budget_jobs = cfg.latency_budget.as_secs_f64() / cost_ewma_s;
+    if budget_jobs >= cfg.max_batch as f64 {
+        cfg.max_batch
+    } else {
+        (budget_jobs as usize).clamp(cfg.min_batch, cfg.max_batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(min: usize, max: usize, budget_us: u64) -> ServiceConfig {
+        ServiceConfig {
+            min_batch: min,
+            max_batch: max,
+            latency_budget: Duration::from_micros(budget_us),
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn limit_scales_inversely_with_cost() {
+        let c = cfg(4, 512, 1_000); // 1 ms budget
+        // 10 µs/job -> 100 jobs fit the budget.
+        assert_eq!(adaptive_batch_limit(10e-6, &c), 100);
+        // 2 µs/job -> 500 jobs.
+        assert_eq!(adaptive_batch_limit(2e-6, &c), 500);
+    }
+
+    #[test]
+    fn limit_clamps_to_bounds_and_handles_no_estimate() {
+        let c = cfg(4, 512, 1_000);
+        assert_eq!(adaptive_batch_limit(0.0, &c), 512, "no estimate yet");
+        assert_eq!(adaptive_batch_limit(f64::NAN, &c), 512, "NaN treated as none");
+        assert_eq!(adaptive_batch_limit(1.0, &c), 4, "cost above budget -> min");
+        assert_eq!(adaptive_batch_limit(1e-12, &c), 512, "tiny cost -> max");
+    }
+
+    #[test]
+    fn deterministic_mode_ignores_wall_clock_cost() {
+        let mut c = cfg(4, 512, 1_000);
+        c.deterministic = true;
+        assert_eq!(adaptive_batch_limit(1.0, &c), 512);
+        assert_eq!(adaptive_batch_limit(1e-9, &c), 512);
+    }
+}

@@ -1,0 +1,503 @@
+//! The deterministic service engine: commands in, placements out.
+//!
+//! [`ServiceCore`] is the whole service minus the thread: it owns a
+//! [`NetPackSession`], a pending queue, and the counters, and is driven by
+//! [`apply`](ServiceCore::apply) / [`place_pass`](ServiceCore::place_pass)
+//! calls. The threaded front end in [`runtime`](crate::runtime) is a thin
+//! loop around it; benches and determinism checks drive it directly so the
+//! command schedule is exactly the input stream.
+
+use crate::config::ServiceConfig;
+use crate::config::adaptive_batch_limit;
+use netpack_metrics::{PerfCounters, Stopwatch};
+use netpack_model::Placement;
+use netpack_placement::NetPackSession;
+use netpack_topology::{Cluster, JobId};
+use netpack_workload::Job;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::mpsc::SyncSender;
+
+/// Where a job currently stands, as answered by [`Command::Query`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Submitted and waiting in the pending queue for a placement pass.
+    Pending,
+    /// Placed and holding GPUs.
+    Running,
+    /// Never submitted, rejected, or already retired.
+    Unknown,
+}
+
+impl JobStatus {
+    fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Pending => "pending",
+            JobStatus::Running => "running",
+            JobStatus::Unknown => "unknown",
+        }
+    }
+}
+
+/// One operation on the service's command stream.
+#[derive(Debug)]
+pub enum Command {
+    /// Enqueue a job for placement (rejected if the queue is at capacity).
+    Submit(Job),
+    /// Abandon a job wherever it is: drop it from the queue if still
+    /// pending, tear it down if running.
+    Cancel(JobId),
+    /// The job finished training: release its GPUs. Completing a job that
+    /// is still pending retires it from the queue unplaced.
+    Complete(JobId),
+    /// Report the job's [`JobStatus`], optionally over a reply channel.
+    Query(JobId, Option<SyncSender<JobStatus>>),
+}
+
+/// Monotonic operation counters — the service's backpressure and progress
+/// gauges, cheap enough to bump on every command.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ServiceCounters {
+    /// Submissions accepted into the pending queue.
+    pub submitted: u64,
+    /// Submissions refused because the queue was at `queue_cap`.
+    pub rejected: u64,
+    /// Jobs placed (each placement counted once, at the pass it landed).
+    pub placed: u64,
+    /// Defer events: a job returning to the queue after an unplaceable
+    /// pass. One job deferred across five passes counts five.
+    pub deferrals: u64,
+    /// Placement passes that saw a non-empty queue.
+    pub batches: u64,
+    /// Cancels that removed a still-pending job from the queue.
+    pub cancelled_pending: u64,
+    /// Cancels that tore down a running job.
+    pub cancelled_running: u64,
+    /// Completes that retired a running job.
+    pub completed: u64,
+    /// Completes that retired a job straight out of the pending queue.
+    pub completed_pending: u64,
+    /// Cancels/completes for ids the service does not know.
+    pub unknown_ops: u64,
+    /// Query commands served.
+    pub queries: u64,
+    /// High-water mark of the pending queue.
+    pub max_queue_depth: u64,
+}
+
+/// Everything the service hands back at shutdown.
+#[derive(Debug, Default)]
+pub struct ServiceReport {
+    /// Final operation counters.
+    pub counters: ServiceCounters,
+    /// Merged perf: the service's `placement_latency` histogram and
+    /// `place_pass` timer plus every counter the underlying placer kept.
+    pub perf: PerfCounters,
+    /// Event log, one line per operation (empty unless
+    /// [`ServiceConfig::event_log`] was set).
+    pub events: Vec<String>,
+    /// Jobs still pending when the service stopped.
+    pub pending_left: usize,
+    /// Jobs still running when the service stopped.
+    pub running_left: usize,
+}
+
+/// The synchronous placement engine behind the service. See the
+/// [module docs](self) for how it relates to the threaded front end.
+#[derive(Debug)]
+pub struct ServiceCore {
+    session: NetPackSession,
+    config: ServiceConfig,
+    pending: Vec<Job>,
+    /// Submit-time stopwatch per queued job, carried across deferrals so
+    /// the latency histogram measures submit → eventual placement.
+    watches: BTreeMap<JobId, Stopwatch>,
+    counters: ServiceCounters,
+    perf: PerfCounters,
+    events: Vec<String>,
+    /// EWMA of per-job placement cost (seconds); drives the adaptive
+    /// batch limit in threaded mode.
+    cost_ewma_s: f64,
+}
+
+impl ServiceCore {
+    /// A fresh engine over `cluster` with nothing pending or running.
+    pub fn new(cluster: Cluster, config: ServiceConfig) -> Self {
+        let session = NetPackSession::new(cluster, config.placer.clone());
+        ServiceCore {
+            session,
+            config,
+            pending: Vec::new(),
+            watches: BTreeMap::new(),
+            counters: ServiceCounters::default(),
+            perf: PerfCounters::new(),
+            events: Vec::new(),
+            cost_ewma_s: 0.0,
+        }
+    }
+
+    /// Current operation counters.
+    pub fn counters(&self) -> &ServiceCounters {
+        &self.counters
+    }
+
+    /// Event-log lines recorded so far (empty unless enabled).
+    pub fn events(&self) -> &[String] {
+        &self.events
+    }
+
+    /// Jobs waiting for the next placement pass.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Jobs currently holding GPUs.
+    pub fn running_len(&self) -> usize {
+        self.session.running().len()
+    }
+
+    /// Free GPUs on the session's ledger.
+    pub fn free_gpus(&self) -> usize {
+        self.session.free_gpus()
+    }
+
+    /// The underlying placement session, for inspecting the running set
+    /// and its placements.
+    pub fn session(&self) -> &NetPackSession {
+        &self.session
+    }
+
+    /// How many commands the drain loop should accept before the next
+    /// placement pass, given the observed per-job cost so far.
+    pub fn batch_limit(&self) -> usize {
+        adaptive_batch_limit(self.cost_ewma_s, &self.config)
+    }
+
+    /// Where `id` currently stands.
+    pub fn status(&self, id: JobId) -> JobStatus {
+        if self.pending.iter().any(|j| j.id == id) {
+            JobStatus::Pending
+        } else if self.session.is_running(id) {
+            JobStatus::Running
+        } else {
+            JobStatus::Unknown
+        }
+    }
+
+    fn event(&mut self, line: String) {
+        if self.config.event_log {
+            self.events.push(line);
+        }
+    }
+
+    /// Apply one command. Placement only happens in
+    /// [`place_pass`](Self::place_pass); this mutates the queue and the
+    /// running set and keeps the counters honest.
+    pub fn apply(&mut self, cmd: Command) {
+        match cmd {
+            Command::Submit(job) => {
+                if self.pending.len() >= self.config.queue_cap {
+                    self.counters.rejected += 1;
+                    if self.config.event_log {
+                        self.event(format!("reject id={} queue={}", job.id, self.pending.len()));
+                    }
+                    return;
+                }
+                self.counters.submitted += 1;
+                if self.config.event_log {
+                    self.event(format!(
+                        "submit id={} gpus={} queue={}",
+                        job.id,
+                        job.gpus,
+                        self.pending.len() + 1
+                    ));
+                }
+                self.watches.insert(job.id, Stopwatch::start());
+                self.pending.push(job);
+                self.counters.max_queue_depth =
+                    self.counters.max_queue_depth.max(self.pending.len() as u64);
+            }
+            Command::Cancel(id) => {
+                if let Some(pos) = self.pending.iter().position(|j| j.id == id) {
+                    let _ = self.pending.remove(pos);
+                    let _ = self.watches.remove(&id);
+                    self.counters.cancelled_pending += 1;
+                    self.event(format!("cancel id={id} kind=pending"));
+                } else if self.session.complete(id).is_ok() {
+                    self.counters.cancelled_running += 1;
+                    self.event(format!("cancel id={id} kind=running"));
+                } else {
+                    self.counters.unknown_ops += 1;
+                    self.event(format!("cancel id={id} kind=unknown"));
+                }
+            }
+            Command::Complete(id) => {
+                if let Some(pos) = self.pending.iter().position(|j| j.id == id) {
+                    // Completed before it was ever placed — it simply
+                    // leaves the queue; there is nothing to release.
+                    let _ = self.pending.remove(pos);
+                    let _ = self.watches.remove(&id);
+                    self.counters.completed_pending += 1;
+                    self.event(format!("complete id={id} kind=pending"));
+                } else if self.session.complete(id).is_ok() {
+                    self.counters.completed += 1;
+                    self.event(format!("complete id={id} kind=running"));
+                } else {
+                    self.counters.unknown_ops += 1;
+                    self.event(format!("complete id={id} kind=unknown"));
+                }
+            }
+            Command::Query(id, reply) => {
+                self.counters.queries += 1;
+                let status = self.status(id);
+                self.event(format!("query id={id} status={}", status.as_str()));
+                if let Some(tx) = reply {
+                    // A gone or saturated requester is its own problem.
+                    let _ = tx.try_send(status);
+                }
+            }
+        }
+    }
+
+    /// Run one placement pass over the whole pending queue: canonical
+    /// value-descending (ties by id) order, one [`NetPackSession`] batch,
+    /// deferred jobs aged by `aging_value_bump` and requeued. Returns the
+    /// number of jobs placed.
+    pub fn place_pass(&mut self) -> usize {
+        if self.pending.is_empty() {
+            return 0;
+        }
+        self.counters.batches += 1;
+        let mut batch = std::mem::take(&mut self.pending);
+        batch.sort_by(|a, b| b.value.total_cmp(&a.value).then(a.id.cmp(&b.id)));
+        let n = batch.len();
+
+        let pass = Stopwatch::start();
+        let outcome = self.session.place_batch(&batch);
+        let elapsed = pass.elapsed();
+        self.perf.record("place_pass", elapsed);
+
+        let per_job_s = elapsed.as_secs_f64() / n as f64;
+        self.cost_ewma_s = if self.cost_ewma_s > 0.0 {
+            0.8 * self.cost_ewma_s + 0.2 * per_job_s
+        } else {
+            per_job_s
+        };
+
+        let placed = outcome.placed.len();
+        for (job, p) in &outcome.placed {
+            self.counters.placed += 1;
+            if let Some(watch) = self.watches.remove(&job.id) {
+                self.perf.record_latency("placement_latency", watch.elapsed());
+            }
+            if self.config.event_log {
+                self.event(format!("place id={} {}", job.id, placement_digest(p)));
+            }
+        }
+        for mut job in outcome.deferred {
+            job.value += self.config.aging_value_bump;
+            self.counters.deferrals += 1;
+            if self.config.event_log {
+                self.event(format!("defer id={} value={:.3}", job.id, job.value));
+            }
+            self.pending.push(job);
+        }
+        if self.config.event_log {
+            self.event(format!(
+                "batch n={n} placed={placed} deferred={} free={}",
+                n - placed,
+                self.session.free_gpus()
+            ));
+        }
+        placed
+    }
+
+    /// Stop the engine and hand everything back: counters, merged perf
+    /// (service-level plus the placer's), the event log, and what was
+    /// still in flight.
+    pub fn finish(mut self) -> ServiceReport {
+        let mut perf = self.perf;
+        perf.merge(&self.session.take_perf());
+        ServiceReport {
+            counters: self.counters,
+            perf,
+            events: self.events,
+            pending_left: self.pending.len(),
+            running_left: self.session.running().len(),
+        }
+    }
+}
+
+/// Stable one-line rendering of a placement for the event log.
+fn placement_digest(p: &Placement) -> String {
+    let mut s = String::from("workers=[");
+    for (i, &(srv, w)) in p.workers().iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{}x{}", srv.0, w);
+    }
+    s.push_str("] ps=[");
+    for (i, srv) in p.pses().iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{}", srv.0);
+    }
+    let _ = write!(s, "] ina={}", u8::from(p.ina_enabled()));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpack_topology::{ClusterSpec, JobId};
+    use netpack_workload::{Job, ModelKind};
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterSpec {
+            racks: 2,
+            servers_per_rack: 4,
+            gpus_per_server: 4,
+            ..ClusterSpec::paper_default()
+        })
+    }
+
+    fn job(id: u64, gpus: usize) -> Job {
+        Job::builder(JobId(id), ModelKind::Vgg16, gpus).build()
+    }
+
+    fn core_with_events() -> ServiceCore {
+        let cfg = ServiceConfig {
+            event_log: true,
+            deterministic: true,
+            ..ServiceConfig::default()
+        };
+        ServiceCore::new(cluster(), cfg)
+    }
+
+    #[test]
+    fn submit_place_complete_lifecycle_updates_counters_and_status() {
+        let mut core = core_with_events();
+        core.apply(Command::Submit(job(0, 4)));
+        assert_eq!(core.status(JobId(0)), JobStatus::Pending);
+        assert_eq!(core.place_pass(), 1);
+        assert_eq!(core.status(JobId(0)), JobStatus::Running);
+        assert_eq!(core.free_gpus(), 32 - 4);
+        core.apply(Command::Complete(JobId(0)));
+        assert_eq!(core.status(JobId(0)), JobStatus::Unknown);
+        assert_eq!(core.free_gpus(), 32);
+        let c = core.counters();
+        assert_eq!((c.submitted, c.placed, c.completed), (1, 1, 1));
+        assert_eq!(c.unknown_ops, 0);
+    }
+
+    #[test]
+    fn queue_cap_rejects_and_counts_backpressure() {
+        let cfg = ServiceConfig {
+            queue_cap: 2,
+            deterministic: true,
+            ..ServiceConfig::default()
+        };
+        let mut core = ServiceCore::new(cluster(), cfg);
+        for i in 0..5 {
+            core.apply(Command::Submit(job(i, 2)));
+        }
+        assert_eq!(core.pending_len(), 2);
+        let c = *core.counters();
+        assert_eq!((c.submitted, c.rejected), (2, 3));
+        assert_eq!(c.max_queue_depth, 2);
+    }
+
+    #[test]
+    fn cancel_and_complete_cover_pending_running_and_unknown() {
+        let mut core = core_with_events();
+        core.apply(Command::Submit(job(0, 4)));
+        core.apply(Command::Submit(job(1, 4)));
+        core.apply(Command::Cancel(JobId(0))); // pending
+        assert_eq!(core.place_pass(), 1);
+        core.apply(Command::Cancel(JobId(1))); // running
+        core.apply(Command::Cancel(JobId(9))); // unknown
+        core.apply(Command::Submit(job(2, 4)));
+        core.apply(Command::Complete(JobId(2))); // pending
+        core.apply(Command::Complete(JobId(9))); // unknown
+        let c = *core.counters();
+        assert_eq!(c.cancelled_pending, 1);
+        assert_eq!(c.cancelled_running, 1);
+        assert_eq!(c.completed_pending, 1);
+        assert_eq!(c.unknown_ops, 2);
+        assert_eq!(core.free_gpus(), 32);
+        assert_eq!(core.pending_len(), 0);
+    }
+
+    #[test]
+    fn deferred_jobs_age_and_eventually_place() {
+        let mut core = core_with_events();
+        // 32 GPUs: the 30-GPU job and the two 8s cannot coexist.
+        core.apply(Command::Submit(job(0, 30)));
+        core.apply(Command::Submit(job(1, 8)));
+        core.apply(Command::Submit(job(2, 8)));
+        let placed_first = core.place_pass();
+        assert!(placed_first > 0);
+        assert!(core.pending_len() > 0, "something must defer");
+        assert!(core.counters().deferrals > 0);
+        // Free everything, then the deferred remainder places.
+        let running: Vec<JobId> = (0..3)
+            .map(JobId)
+            .filter(|&id| core.status(id) == JobStatus::Running)
+            .collect();
+        for id in running {
+            core.apply(Command::Complete(id));
+        }
+        let placed_second = core.place_pass();
+        assert!(placed_second > 0);
+        assert_eq!(core.pending_len(), 0);
+    }
+
+    #[test]
+    fn query_replies_over_the_channel() {
+        let mut core = core_with_events();
+        core.apply(Command::Submit(job(0, 4)));
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        core.apply(Command::Query(JobId(0), Some(tx)));
+        assert_eq!(rx.recv(), Ok(JobStatus::Pending));
+        assert_eq!(core.counters().queries, 1);
+    }
+
+    #[test]
+    fn identical_command_streams_produce_identical_event_logs() {
+        let run = || {
+            let mut core = core_with_events();
+            for i in 0..20 {
+                core.apply(Command::Submit(job(i, (i as usize % 7) + 1)));
+                if i % 4 == 3 {
+                    let _ = core.place_pass();
+                }
+                if i % 5 == 4 {
+                    core.apply(Command::Complete(JobId(i - 3)));
+                }
+            }
+            let _ = core.place_pass();
+            core.finish()
+        };
+        let a = run();
+        let b = run();
+        assert!(!a.events.is_empty());
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.counters, b.counters);
+    }
+
+    #[test]
+    fn report_merges_placer_perf_and_latency_histogram() {
+        let mut core = core_with_events();
+        core.apply(Command::Submit(job(0, 4)));
+        let _ = core.place_pass();
+        let report = core.finish();
+        assert_eq!(report.perf.timer_count("place_pass"), 1);
+        assert_eq!(report.perf.timer_count("place_batch"), 1, "placer perf merged");
+        let hist = report.perf.latency("placement_latency").expect("histogram recorded");
+        assert_eq!(hist.count(), 1);
+        assert_eq!(report.running_left, 1);
+    }
+}

@@ -1,0 +1,200 @@
+//! Threaded front end: a command channel in front of [`ServiceCore`].
+//!
+//! The shape is a classic multiplexer: submitters push [`Command`]s into a
+//! bounded `sync_channel` (a full channel is backpressure the caller sees
+//! immediately), and a single service thread drains it in adaptive batches
+//! — block for the first command, then take up to
+//! [`ServiceCore::batch_limit`] more without waiting — and runs one
+//! placement pass per batch. Dropping the handle's sender shuts the thread
+//! down; [`PlacementService::shutdown`] also flushes whatever was still
+//! queued and returns the final [`ServiceReport`].
+
+use crate::config::ServiceConfig;
+use crate::core::{Command, JobStatus, ServiceCore, ServiceReport};
+use netpack_topology::{Cluster, JobId};
+use netpack_workload::Job;
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError, sync_channel};
+use std::thread::JoinHandle;
+
+/// Handle to a running placement service thread. Cloneable submission is
+/// available via [`sender`](PlacementService::sender); the handle itself
+/// owns the shutdown path.
+#[derive(Debug)]
+pub struct PlacementService {
+    tx: Option<SyncSender<Command>>,
+    handle: Option<JoinHandle<ServiceReport>>,
+}
+
+impl PlacementService {
+    /// Start the service thread over `cluster`. The command channel is
+    /// bounded at `config.channel_cap`.
+    pub fn spawn(cluster: Cluster, config: ServiceConfig) -> Self {
+        let (tx, rx) = sync_channel(config.channel_cap);
+        let handle = std::thread::spawn(move || run_loop(cluster, config, rx));
+        PlacementService {
+            tx: Some(tx),
+            handle: Some(handle),
+        }
+    }
+
+    /// A clone of the command sender, for handing to producer threads.
+    pub fn sender(&self) -> Option<SyncSender<Command>> {
+        self.tx.clone()
+    }
+
+    /// Submit a job without blocking. On backpressure (channel full) or a
+    /// stopped service the job comes back as `Err` so the caller can
+    /// retry, shed, or queue it elsewhere.
+    pub fn submit(&self, job: Job) -> Result<(), Job> {
+        match &self.tx {
+            Some(tx) => tx.try_send(Command::Submit(job)).map_err(|e| match e {
+                TrySendError::Full(Command::Submit(j))
+                | TrySendError::Disconnected(Command::Submit(j)) => j,
+                // try_send returns the command we passed in; only Submit
+                // goes through this path.
+                TrySendError::Full(_) | TrySendError::Disconnected(_) => unreachable!(),
+            }),
+            None => Err(job),
+        }
+    }
+
+    /// Send any command, blocking while the channel is full. Returns
+    /// `false` if the service has stopped.
+    pub fn send(&self, cmd: Command) -> bool {
+        match &self.tx {
+            Some(tx) => tx.send(cmd).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Ask where a job stands, round-tripping through the service thread
+    /// (so the answer reflects every command sent before this call).
+    /// `None` if the service has stopped.
+    pub fn query(&self, id: JobId) -> Option<JobStatus> {
+        let (reply_tx, reply_rx) = sync_channel(1);
+        if !self.send(Command::Query(id, Some(reply_tx))) {
+            return None;
+        }
+        reply_rx.recv().ok()
+    }
+
+    /// Stop the service: close the channel, let the thread drain and flush
+    /// the queue, and return its final report.
+    pub fn shutdown(mut self) -> ServiceReport {
+        drop(self.tx.take());
+        match self.handle.take() {
+            Some(handle) => match handle.join() {
+                Ok(report) => report,
+                Err(panic) => std::panic::resume_unwind(panic),
+            },
+            None => ServiceReport::default(),
+        }
+    }
+}
+
+/// The service thread: drain, place, repeat; flush on channel close.
+fn run_loop(cluster: Cluster, config: ServiceConfig, rx: Receiver<Command>) -> ServiceReport {
+    let mut core = ServiceCore::new(cluster, config);
+    while let Ok(first) = rx.recv() {
+        core.apply(first);
+        let limit = core.batch_limit();
+        let mut drained = 1;
+        while drained < limit {
+            match rx.try_recv() {
+                Ok(cmd) => {
+                    core.apply(cmd);
+                    drained += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        let _ = core.place_pass();
+    }
+    // Channel closed: flush what is still pending. Repeat while passes
+    // make progress — a pass can place jobs that earlier passes deferred
+    // only if something else freed capacity, so this converges fast.
+    while core.pending_len() > 0 && core.place_pass() > 0 {}
+    core.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpack_topology::ClusterSpec;
+    use netpack_workload::ModelKind;
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterSpec {
+            racks: 2,
+            servers_per_rack: 4,
+            gpus_per_server: 4,
+            ..ClusterSpec::paper_default()
+        })
+    }
+
+    fn job(id: u64, gpus: usize) -> Job {
+        Job::builder(JobId(id), ModelKind::Vgg16, gpus).build()
+    }
+
+    #[test]
+    fn spawn_submit_query_shutdown_round_trip() {
+        let svc = PlacementService::spawn(cluster(), ServiceConfig::default());
+        for i in 0..8 {
+            assert!(svc.send(Command::Submit(job(i, 2))));
+        }
+        // Query round-trips through the thread, so by the time it answers
+        // all prior submits have been applied (though possibly not placed).
+        let status = svc.query(JobId(0)).expect("service alive");
+        assert_ne!(status, JobStatus::Unknown);
+        assert!(svc.send(Command::Complete(JobId(0))));
+        let report = svc.shutdown();
+        assert_eq!(report.counters.submitted, 8);
+        // Every submission is accounted for: placed, retired straight out
+        // of the queue by the Complete, or still pending at shutdown.
+        assert_eq!(
+            report.counters.placed
+                + report.counters.completed_pending
+                + report.pending_left as u64,
+            8
+        );
+        assert!(report.counters.batches > 0);
+    }
+
+    #[test]
+    fn shutdown_flushes_the_pending_queue() {
+        let svc = PlacementService::spawn(cluster(), ServiceConfig::default());
+        for i in 0..4 {
+            assert!(svc.send(Command::Submit(job(i, 4))));
+        }
+        let report = svc.shutdown();
+        // 16 GPUs demanded, 32 available: everything must have landed.
+        assert_eq!(report.counters.placed, 4);
+        assert_eq!(report.pending_left, 0);
+        assert_eq!(report.running_left, 4);
+    }
+
+    #[test]
+    fn submit_reports_backpressure_instead_of_blocking() {
+        let cfg = ServiceConfig {
+            channel_cap: 1,
+            ..ServiceConfig::default()
+        };
+        let svc = PlacementService::spawn(cluster(), cfg);
+        // Slam the bounded channel; at least everything try_send rejects
+        // must come back to us, and nothing may be silently dropped.
+        let mut accepted = 0u64;
+        let mut bounced = 0u64;
+        for i in 0..256 {
+            match svc.submit(job(i, 1)) {
+                Ok(()) => accepted += 1,
+                Err(returned) => {
+                    assert_eq!(returned.id, JobId(i));
+                    bounced += 1;
+                }
+            }
+        }
+        let report = svc.shutdown();
+        assert_eq!(accepted + bounced, 256);
+        assert_eq!(report.counters.submitted + report.counters.rejected, accepted);
+    }
+}

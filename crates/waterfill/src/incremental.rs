@@ -108,6 +108,9 @@ pub struct IncrementalEstimator {
     /// The converged steady state over all pushed jobs.
     state: SteadyState,
     stats: WaterfillStats,
+    /// Count of jobs with at least one resource node, maintained on
+    /// push/remove so the reuse accounting never rescans `job_nodes`.
+    network_jobs: u64,
     /// Arena for the dirty component's member indices, reused across
     /// pushes so the placement hot loop allocates nothing here.
     scratch_members: Vec<usize>,
@@ -135,12 +138,14 @@ impl IncrementalEstimator {
             }
             job_nodes.push(nodes);
         }
+        let network_jobs = job_nodes.iter().filter(|n| !n.is_empty()).count() as u64;
         IncrementalEstimator {
             jobs: jobs.to_vec(),
             job_nodes,
             dsu,
             state,
             stats,
+            network_jobs,
             scratch_members: Vec::new(),
             scratch_dirty: Vec::new(),
         }
@@ -172,11 +177,12 @@ impl IncrementalEstimator {
         if nodes.is_empty() {
             // Local job: infinite rate, touches nothing.
             self.state.job_rates.insert(job.id(), f64::INFINITY);
-            self.stats.jobs_reused += self.network_job_count();
+            self.stats.jobs_reused += self.network_jobs;
             self.jobs.push(job);
             self.job_nodes.push(nodes);
             return;
         }
+        self.network_jobs += 1;
         for w in nodes.windows(2) {
             self.dsu.union(w[0], w[1]);
         }
@@ -221,7 +227,7 @@ impl IncrementalEstimator {
         solve_component(cluster, &refs, &mut self.state);
         self.stats.components_solved += 1;
         self.stats.jobs_resolved += refs.len() as u64;
-        self.stats.jobs_reused += self.network_job_count() - refs.len() as u64;
+        self.stats.jobs_reused += self.network_jobs - refs.len() as u64;
         self.scratch_members = members;
         self.scratch_dirty = dirty;
     }
@@ -257,7 +263,8 @@ impl IncrementalEstimator {
     fn remove_at(&mut self, cluster: &Cluster, idx: usize) {
         let id = self.jobs[idx].id();
         self.stats.removes += 1;
-        let removed_nodes = self.job_nodes[idx].clone();
+        // Take, don't clone: the slot is deleted below either way.
+        let removed_nodes = std::mem::take(&mut self.job_nodes[idx]);
         // Pre-removal indices of the network jobs sharing the removed job's
         // component — the only jobs whose converged numbers can change.
         let mut co: Vec<usize> = Vec::new();
@@ -286,9 +293,10 @@ impl IncrementalEstimator {
         if removed_nodes.is_empty() {
             // Local job: it touched no resource, so every cached component
             // survives verbatim.
-            self.stats.jobs_reused += self.network_job_count();
+            self.stats.jobs_reused += self.network_jobs;
             return;
         }
+        self.network_jobs -= 1;
 
         // Union-find supports no deletion: rebuild it over the remaining
         // jobs. This is cheap array work; the expensive part — the
@@ -335,7 +343,7 @@ impl IncrementalEstimator {
             self.stats.components_solved += 1;
             self.stats.jobs_resolved += refs.len() as u64;
         }
-        self.stats.jobs_reused += self.network_job_count() - co.len() as u64;
+        self.stats.jobs_reused += self.network_jobs - co.len() as u64;
     }
 
     /// Re-tune a job in place: remove any existing job with `job`'s id,
@@ -347,9 +355,6 @@ impl IncrementalEstimator {
         self.push(cluster, job);
     }
 
-    fn network_job_count(&self) -> u64 {
-        self.job_nodes.iter().filter(|n| !n.is_empty()).count() as u64
-    }
 }
 
 #[cfg(test)]

@@ -34,4 +34,4 @@ mod trace;
 pub use csv::{ParseTraceError, TRACE_CSV_HEADER};
 pub use job::{Job, JobBuilder};
 pub use model::ModelKind;
-pub use trace::{Trace, TraceKind, TraceSpec};
+pub use trace::{ArrivalProcess, Trace, TraceKind, TraceSpec};

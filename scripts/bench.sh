@@ -1,20 +1,25 @@
 #!/usr/bin/env bash
-# Regenerate results/BENCH_placement.json — the machine-readable placement
-# benchmark ledger (JSON Lines, schema in DESIGN.md §3.10).
+# Regenerate the machine-readable benchmark ledgers (JSON Lines):
+#   * results/BENCH_placement.json — placement-time rows (DESIGN.md §3.10)
+#   * results/BENCH_service.json   — service-throughput rows (DESIGN.md §3.12)
 #
-# Runs the two placement-time benchmarks with NETPACK_BENCH_JSON set so
-# every measured cell appends a row, then validates the file:
+# Placement rows come from the placement-time benchmarks run with
+# NETPACK_BENCH_JSON set so every measured cell appends a row:
 #   * table_mip_vs_dp      — exact bnb vs scratch vs DP per instance
 #   * fig10_placement_time — NetPack DP wall-clock per (servers, jobs) cell
 #   * fig10_xl             — 100 jobs on a 50K-server fat-tree, both
 #                            NETPACK_TOPO modes (flat must stay < 1 s)
+# Service rows come from bench_service — the open-loop Philly replay over
+# the Fig. 10 cluster — in both driver modes (threaded + deterministic).
 #
-# Usage: scripts/bench.sh [output.json]   (default results/BENCH_placement.json)
+# Usage: scripts/bench.sh [output.json] [service_output.json]
+#   (defaults results/BENCH_placement.json, results/BENCH_service.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out=${1:-results/BENCH_placement.json}
-mkdir -p "$(dirname "$out")"
+svc_out=${2:-results/BENCH_service.json}
+mkdir -p "$(dirname "$out")" "$(dirname "$svc_out")"
 
 cargo build --release -p netpack-bench
 
@@ -26,4 +31,11 @@ NETPACK_BENCH_JSON="$out" NETPACK_QUICK=1 ./target/release/fig10_placement_time 
 echo "bench: fig10_xl (50K-server warehouse cell, struct + flat)"
 NETPACK_BENCH_JSON="$out" ./target/release/fig10_xl > /dev/null
 
-./target/release/bench_json_check "$out"
+rm -f "$svc_out"
+echo "bench: bench_service (1M-job open-loop replay, threaded)"
+NETPACK_BENCH_JSON="$svc_out" ./target/release/bench_service > /dev/null
+echo "bench: bench_service (50K-job open-loop replay, deterministic)"
+NETPACK_BENCH_JSON="$svc_out" NETPACK_QUICK=1 NETPACK_SERVICE_MODE=deterministic \
+    ./target/release/bench_service > /dev/null
+
+./target/release/bench_json_check "$out" "$svc_out"

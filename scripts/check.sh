@@ -7,8 +7,9 @@
 # determinism/numeric-safety static pass; any finding not grandfathered in
 # lint-baseline.txt fails), the exact-placer two-mode smoke
 # (NETPACK_EXACT=bnb vs scratch must be byte-identical), the full
-# workspace test suite, the doctests, and the fig9/fig10_xl/fig14
-# two-mode smokes.
+# workspace test suite, the doctests, the fig9/fig10_xl/fig14 two-mode
+# smokes, and the service determinism smoke (two identical deterministic
+# 10K-job bench_service runs must be byte-identical, stdout + event log).
 # Keep this list in sync with README.md.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -67,6 +68,22 @@ if ! diff <(printf '%s\n' "$topo_flat") <(printf '%s\n' "$topo_struct"); then
     exit 1
 fi
 printf '%s\n' "$topo_flat"
+
+echo "==> service smoke: deterministic 10K-job replay must be byte-reproducible"
+svc_a=$(NETPACK_SMOKE=1 NETPACK_THREADS=1 NETPACK_SERVICE_EVENT_LOG="$exact_dir/svc_a.log" \
+    ./target/release/bench_service 2> /dev/null)
+svc_b=$(NETPACK_SMOKE=1 NETPACK_THREADS=1 NETPACK_SERVICE_EVENT_LOG="$exact_dir/svc_b.log" \
+    ./target/release/bench_service 2> /dev/null)
+if ! diff <(printf '%s\n' "$svc_a") <(printf '%s\n' "$svc_b"); then
+    echo "check.sh: service smoke DIVERGED between identical runs (stdout)" >&2
+    exit 1
+fi
+if ! cmp "$exact_dir/svc_a.log" "$exact_dir/svc_b.log"; then
+    echo "check.sh: service smoke DIVERGED between identical runs (event log)" >&2
+    exit 1
+fi
+printf '%s\n' "$svc_a"
+echo "service event log: $(wc -l < "$exact_dir/svc_a.log") lines, byte-identical across runs"
 
 echo "==> fig14 smoke: fast vs scratch packet path must match (stdout + CSV)"
 pkt_fast=$(NETPACK_PKT=fast NETPACK_CSV_DIR="$pkt_dir/fast" \
