@@ -22,6 +22,9 @@
 //!
 //! Scale with `NETPACK_QUICK=1` (50K jobs) or `NETPACK_SMOKE=1`
 //! (10K jobs, deterministic); the default is the 1M-job acceptance run.
+//! `NETPACK_SERVICE_JOBS=<n>` overrides all three — the thread-sweep rows
+//! in `scripts/bench.sh` use it to run long enough that throughput noise
+//! stays small relative to the threaded-vs-deterministic gap.
 
 use netpack_bench::{emit_service_row, quick, ServiceRow};
 use netpack_metrics::{LatencyHistogram, Stopwatch, TextTable};
@@ -80,13 +83,21 @@ fn replay(trace: &Trace, mut issue: impl FnMut(Command)) {
 }
 
 fn run_threaded(trace: &Trace, config: ServiceConfig) -> (ServiceReport, f64) {
+    // Submit in buffered chunks via the bulk path: one queue lock per
+    // chunk instead of per command. Backpressure still applies — a full
+    // channel blocks the flush, slowing the open-loop driver down, which
+    // is part of the measure.
+    let chunk = config.max_batch.max(1);
     let svc = PlacementService::spawn(Cluster::new(spec()), config);
     let wall = Stopwatch::start();
+    let mut buf: Vec<Command> = Vec::with_capacity(chunk);
     replay(trace, |cmd| {
-        // Blocking send: a full channel is the service's backpressure
-        // slowing the open-loop driver down, which is part of the measure.
-        let _ = svc.send(cmd);
+        buf.push(cmd);
+        if buf.len() >= chunk {
+            let _ = svc.send_many(buf.drain(..));
+        }
     });
+    let _ = svc.send_many(buf.drain(..));
     let report = svc.shutdown();
     let wall_s = wall.elapsed_s();
     (report, wall_s)
@@ -121,13 +132,17 @@ fn percentiles_us(hist: Option<&LatencyHistogram>) -> (u64, u64, u64) {
 }
 
 fn main() {
-    let jobs = if smoke() {
-        10_000
-    } else if quick() {
-        50_000
-    } else {
-        1_000_000
-    };
+    let jobs = std::env::var("NETPACK_SERVICE_JOBS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(if smoke() {
+            10_000
+        } else if quick() {
+            50_000
+        } else {
+            1_000_000
+        });
     let mut config = ServiceConfig::from_env();
     if smoke() {
         config.deterministic = true;
@@ -192,6 +207,7 @@ fn main() {
         instance: format!("fig10/jobs={jobs}"),
         mode: mode.to_string(),
         wall_s,
+        threads: netpack_bench::bench_threads(),
         placed,
         rejected: c.rejected,
         deferrals: c.deferrals,

@@ -95,6 +95,7 @@ fn main() {
                     instance: format!("servers={servers}/jobs={jobs}"),
                     mode: mode_name.to_string(),
                     wall_s: elapsed,
+                    threads: netpack_bench::bench_threads(),
                     evals: placer.perf().counter("plans_considered"),
                     nodes: 0,
                     pruned: 0,

@@ -127,6 +127,7 @@ fn main() {
             instance: format!("servers={servers}/jobs={jobs}"),
             mode: mode_name.to_string(),
             wall_s: elapsed,
+            threads: netpack_bench::bench_threads(),
             evals: placer.perf().counter("plans_considered"),
             nodes: placer.perf().counter("dp_candidates_offered"),
             pruned: placer

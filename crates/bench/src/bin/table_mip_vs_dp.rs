@@ -133,6 +133,7 @@ fn main() {
             instance: instance_id.clone(),
             mode: mode_name(mode).to_string(),
             wall_s: exact_time,
+            threads: netpack_bench::bench_threads(),
             evals: exact.evaluations(),
             nodes: exact.perf().counter("exact_nodes"),
             pruned: exact.perf().counter("exact_pruned_subtrees"),
@@ -148,6 +149,7 @@ fn main() {
             instance: instance_id.clone(),
             mode: "dp".to_string(),
             wall_s: dp_time,
+            threads: netpack_bench::bench_threads(),
             evals: dp.perf().counter("plans_considered"),
             nodes: 0,
             pruned: 0,
@@ -183,6 +185,7 @@ fn main() {
                 instance: instance_id.clone(),
                 mode: "scratch".to_string(),
                 wall_s: scratch_time,
+                threads: netpack_bench::bench_threads(),
                 evals: scratch.evaluations(),
                 nodes: 0,
                 pruned: 0,

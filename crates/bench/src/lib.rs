@@ -155,6 +155,19 @@ pub fn placer_by_name(name: &str) -> Box<dyn Placer> {
 
 pub use netpack_metrics::parallel_sweep;
 
+/// Worker-thread count recorded in the ledger rows: the raw
+/// `NETPACK_THREADS` request when set — so the `scripts/bench.sh` thread
+/// sweep produces distinguishable rows even on machines whose core count
+/// clamps the effective parallelism — else the machine clamp
+/// [`netpack_metrics::sweep_threads`] the run actually used.
+pub fn bench_threads() -> u64 {
+    std::env::var("NETPACK_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or_else(|| netpack_metrics::sweep_threads() as u64)
+}
+
 /// Outcome of repeated trace replays for one placer.
 #[derive(Debug, Clone, Copy)]
 pub struct ReplayPoint {
@@ -245,8 +258,9 @@ pub fn emit_table(name: &str, table: &TextTable) {
 ///
 /// The schema (documented in DESIGN.md §3.10) is JSON Lines: one object
 /// per line with exactly the keys `bench`, `instance`, `mode` (strings),
-/// `wall_s` (finite non-negative number) and `evals`, `nodes`, `pruned`
-/// (non-negative integers; 0 when a counter does not apply to the bench).
+/// `wall_s` (finite non-negative number), `threads` (positive integer)
+/// and `evals`, `nodes`, `pruned` (non-negative integers; 0 when a
+/// counter does not apply to the bench).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchRow {
     /// Source binary, e.g. `"table_mip_vs_dp"`.
@@ -257,6 +271,9 @@ pub struct BenchRow {
     pub mode: String,
     /// Wall-clock seconds for the measured call.
     pub wall_s: f64,
+    /// Configured worker-thread count for the measured call (see
+    /// [`bench_threads`]; 1 for benches with no parallel region).
+    pub threads: u64,
     /// Complete assignments evaluated (exact placers) or plans considered
     /// (the DP placer).
     pub evals: u64,
@@ -275,11 +292,12 @@ impl BenchRow {
             0.0
         };
         format!(
-            "{{\"bench\":{},\"instance\":{},\"mode\":{},\"wall_s\":{},\"evals\":{},\"nodes\":{},\"pruned\":{}}}",
+            "{{\"bench\":{},\"instance\":{},\"mode\":{},\"wall_s\":{},\"threads\":{},\"evals\":{},\"nodes\":{},\"pruned\":{}}}",
             json_string(self.bench),
             json_string(&self.instance),
             json_string(&self.mode),
             wall,
+            self.threads.max(1),
             self.evals,
             self.nodes,
             self.pruned,
@@ -342,6 +360,9 @@ pub struct ServiceRow {
     pub mode: String,
     /// Wall-clock seconds for the whole run.
     pub wall_s: f64,
+    /// Configured placer worker-thread count for the run (see
+    /// [`bench_threads`]).
+    pub threads: u64,
     /// Jobs placed.
     pub placed: u64,
     /// Submissions rejected by queue backpressure.
@@ -363,11 +384,12 @@ impl ServiceRow {
     pub fn to_json(&self) -> String {
         let clamp = |v: f64| if v.is_finite() && v >= 0.0 { v } else { 0.0 };
         format!(
-            "{{\"bench\":{},\"instance\":{},\"mode\":{},\"wall_s\":{},\"placed\":{},\"rejected\":{},\"deferrals\":{},\"throughput_per_s\":{},\"p50_us\":{},\"p99_us\":{},\"p999_us\":{}}}",
+            "{{\"bench\":{},\"instance\":{},\"mode\":{},\"wall_s\":{},\"threads\":{},\"placed\":{},\"rejected\":{},\"deferrals\":{},\"throughput_per_s\":{},\"p50_us\":{},\"p99_us\":{},\"p999_us\":{}}}",
             json_string(self.bench),
             json_string(&self.instance),
             json_string(&self.mode),
             clamp(self.wall_s),
+            self.threads.max(1),
             self.placed,
             self.rejected,
             self.deferrals,
@@ -421,11 +443,12 @@ pub fn validate_service_jsonl(text: &str) -> Result<usize, String> {
 
 fn validate_service_line(line: &str) -> Result<(), String> {
     let fields = parse_flat_json_object(line)?;
-    const KEYS: [&str; 11] = [
+    const KEYS: [&str; 12] = [
         "bench",
         "instance",
         "mode",
         "wall_s",
+        "threads",
         "placed",
         "rejected",
         "deferrals",
@@ -450,6 +473,11 @@ fn validate_service_line(line: &str) -> Result<(), String> {
             ("wall_s" | "throughput_per_s", JsonValue::Num(v)) => {
                 if !v.is_finite() || *v < 0.0 {
                     return Err(format!("{key:?} must be finite and >= 0, got {v}"));
+                }
+            }
+            ("threads", JsonValue::Num(v)) => {
+                if !v.is_finite() || *v < 1.0 || v.fract() != 0.0 {
+                    return Err(format!("threads must be a positive integer, got {v}"));
                 }
             }
             (
@@ -502,7 +530,9 @@ pub fn validate_bench_jsonl(text: &str) -> Result<usize, String> {
 
 fn validate_bench_line(line: &str) -> Result<(), String> {
     let fields = parse_flat_json_object(line)?;
-    const KEYS: [&str; 7] = ["bench", "instance", "mode", "wall_s", "evals", "nodes", "pruned"];
+    const KEYS: [&str; 8] = [
+        "bench", "instance", "mode", "wall_s", "threads", "evals", "nodes", "pruned",
+    ];
     for key in KEYS {
         if !fields.iter().any(|(k, _)| k == key) {
             return Err(format!("missing key {key:?}"));
@@ -518,6 +548,11 @@ fn validate_bench_line(line: &str) -> Result<(), String> {
             ("wall_s", JsonValue::Num(v)) => {
                 if !v.is_finite() || *v < 0.0 {
                     return Err(format!("wall_s must be finite and >= 0, got {v}"));
+                }
+            }
+            ("threads", JsonValue::Num(v)) => {
+                if !v.is_finite() || *v < 1.0 || v.fract() != 0.0 {
+                    return Err(format!("threads must be a positive integer, got {v}"));
                 }
             }
             ("evals" | "nodes" | "pruned", JsonValue::Num(v)) => {
@@ -679,6 +714,7 @@ mod tests {
             instance: "6x2/3+3+3".to_string(),
             mode: "bnb".to_string(),
             wall_s: 0.125,
+            threads: 1,
             evals: 42,
             nodes: 99,
             pruned: 7,
@@ -706,6 +742,7 @@ mod tests {
                 instance: "servers=50176/jobs=100".to_string(),
                 mode: mode.to_string(),
                 wall_s: 0.164,
+                threads: 4,
                 evals: 1234,
                 nodes: 5_017_600,
                 pruned: 5_000_000,
@@ -726,19 +763,23 @@ mod tests {
     #[test]
     fn validator_rejects_schema_violations() {
         // Missing key.
-        let missing = r#"{"bench":"b","instance":"i","mode":"m","wall_s":1,"evals":2,"nodes":3}"#;
+        let missing = r#"{"bench":"b","instance":"i","mode":"m","wall_s":1,"threads":1,"evals":2,"nodes":3}"#;
         assert!(validate_bench_jsonl(missing).is_err());
         // Unknown key.
-        let unknown = r#"{"bench":"b","instance":"i","mode":"m","wall_s":1,"evals":2,"nodes":3,"pruned":0,"extra":1}"#;
+        let unknown = r#"{"bench":"b","instance":"i","mode":"m","wall_s":1,"threads":1,"evals":2,"nodes":3,"pruned":0,"extra":1}"#;
         assert!(validate_bench_jsonl(unknown).is_err());
         // Wrong type.
-        let wrong = r#"{"bench":"b","instance":"i","mode":"m","wall_s":"fast","evals":2,"nodes":3,"pruned":0}"#;
+        let wrong = r#"{"bench":"b","instance":"i","mode":"m","wall_s":"fast","threads":1,"evals":2,"nodes":3,"pruned":0}"#;
         assert!(validate_bench_jsonl(wrong).is_err());
         // Non-integer counter.
-        let fractional = r#"{"bench":"b","instance":"i","mode":"m","wall_s":1,"evals":2.5,"nodes":3,"pruned":0}"#;
+        let fractional = r#"{"bench":"b","instance":"i","mode":"m","wall_s":1,"threads":1,"evals":2.5,"nodes":3,"pruned":0}"#;
         assert!(validate_bench_jsonl(fractional).is_err());
+        // Zero threads (the schema demands a positive worker count).
+        let zero_threads = r#"{"bench":"b","instance":"i","mode":"m","wall_s":1,"threads":0,"evals":2,"nodes":3,"pruned":0}"#;
+        assert!(validate_bench_jsonl(zero_threads)
+            .is_err_and(|e| e.contains("positive integer")));
         // Negative wall clock, malformed JSON, empty document.
-        let negative = r#"{"bench":"b","instance":"i","mode":"m","wall_s":-1,"evals":2,"nodes":3,"pruned":0}"#;
+        let negative = r#"{"bench":"b","instance":"i","mode":"m","wall_s":-1,"threads":1,"evals":2,"nodes":3,"pruned":0}"#;
         assert!(validate_bench_jsonl(negative).is_err());
         assert!(validate_bench_jsonl("not json").is_err());
         assert!(validate_bench_jsonl("").is_err());
@@ -750,6 +791,7 @@ mod tests {
             instance: "fig10/jobs=1000000".to_string(),
             mode: "threaded".to_string(),
             wall_s: 8.25,
+            threads: 4,
             placed: 999_000,
             rejected: 120,
             deferrals: 4_500,
@@ -776,6 +818,10 @@ mod tests {
         // Missing percentile.
         let missing = sample_service_row().to_json().replace(",\"p999_us\":9100", "");
         assert!(validate_service_jsonl(&missing).is_err());
+        // Zero threads.
+        let zero_threads = sample_service_row().to_json().replace("\"threads\":4", "\"threads\":0");
+        assert!(validate_service_jsonl(&zero_threads)
+            .is_err_and(|e| e.contains("positive integer")));
         // Non-monotone percentiles.
         let inverted = ServiceRow {
             p99_us: 10_000,

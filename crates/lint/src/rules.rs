@@ -411,12 +411,15 @@ fn contains_float_literal(code: &str) -> bool {
     false
 }
 
-/// Lines inside a parallel closure (`parallel_sweep(…)`, rayon adapters,
-/// `thread::scope(…)`) or, in `packetsim`, inside a `fn …batch…` body.
+/// Lines inside a parallel closure (`parallel_sweep(…)` and its
+/// `_with`/`_reduce` variants, rayon adapters, `thread::scope(…)`) or, in
+/// `packetsim`, inside a `fn …batch…` body.
 fn n1_regions(ctx: &FileContext<'_>) -> Vec<bool> {
     let mut region = vec![false; ctx.lines.len()];
-    const TRIGGERS: [&str; 6] = [
+    const TRIGGERS: [&str; 8] = [
         "parallel_sweep(",
+        "parallel_sweep_with(",
+        "parallel_sweep_reduce(",
         ".par_iter(",
         ".into_par_iter(",
         ".par_chunks(",

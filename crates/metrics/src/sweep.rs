@@ -5,6 +5,23 @@
 //! one audited parallelism primitive without depending on the benchmark
 //! driver crate. `netpack-bench` re-exports it unchanged.
 
+/// Effective worker count for a sweep: `NETPACK_THREADS` (0 or unset →
+/// all available cores), clamped to the hardware parallelism actually
+/// present. Oversubscribing a core never speeds a CPU-bound sweep up —
+/// it only adds spawn and scheduling overhead — so a request for more
+/// workers than cores is treated as "all cores".
+pub fn sweep_threads() -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    std::env::var("NETPACK_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(cores)
+        .min(cores)
+}
+
 /// Run one closure per sweep cell across `std::thread::scope` workers and
 /// return the results in cell order.
 ///
@@ -13,26 +30,33 @@
 /// and the exact placer parallelize without changing a single printed
 /// byte. Each cell must be independent; all callers' sweeps are.
 ///
-/// Honors `NETPACK_THREADS` (0 or unset → all available cores) so perf
-/// comparisons can pin a worker count. A panicking worker is resumed on
-/// the caller's thread, so a cell failure surfaces exactly as it would in
-/// the sequential loop.
+/// Honors `NETPACK_THREADS` via [`sweep_threads`] so perf comparisons can
+/// pin a worker count. A panicking worker is resumed on the caller's
+/// thread, so a cell failure surfaces exactly as it would in the
+/// sequential loop.
 pub fn parallel_sweep<T, R, F>(cells: &[T], run: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = std::env::var("NETPACK_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
-        .min(cells.len().max(1));
+    parallel_sweep_with(sweep_threads(), cells, run)
+}
+
+/// [`parallel_sweep`] with an explicit worker count instead of the
+/// `NETPACK_THREADS` environment lookup.
+///
+/// Unlike the environment path this does NOT clamp to the hardware core
+/// count: equivalence tests sweep worker counts {1, 2, 4, …} to exercise
+/// every chunking of the cells, and they must do so even on a one-core
+/// CI box. Results are identical for any `threads` by construction.
+pub fn parallel_sweep_with<T, R, F>(threads: usize, cells: &[T], run: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.max(1).min(cells.len().max(1));
     if threads <= 1 || cells.len() <= 1 {
         return cells.iter().map(&run).collect();
     }
@@ -53,6 +77,28 @@ where
     })
 }
 
+/// Parallel map over `cells` followed by a deterministic ordered fold:
+/// cell `i`'s result is merged strictly before cell `i+1`'s, exactly as a
+/// sequential `for` loop would, regardless of which worker produced it.
+///
+/// This is the primitive behind ordered reductions such as the per-plan
+/// PS-scoring argmax in the flat placer: workers score disjoint plan
+/// ranges concurrently, and the fold re-applies the sequential tie-break
+/// ("strictly greater wins, first seen keeps ties") in plan order, so the
+/// winner is bit-identical to the single-threaded loop for any worker
+/// count.
+pub fn parallel_sweep_reduce<T, R, A, F, M>(threads: usize, cells: &[T], run: F, init: A, merge: M) -> A
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+    M: FnMut(A, R) -> A,
+{
+    parallel_sweep_with(threads, cells, run)
+        .into_iter()
+        .fold(init, merge)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,5 +116,38 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(parallel_sweep(&empty, |&c| c).is_empty());
         assert_eq!(parallel_sweep(&[7u32], |&c| c + 1), vec![8]);
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree() {
+        let cells: Vec<usize> = (0..101).collect();
+        let want: Vec<usize> = cells.iter().map(|&c| c * 3 + 1).collect();
+        for threads in [1, 2, 3, 4, 8, 101, 500] {
+            let got = parallel_sweep_with(threads, &cells, |&c| c * 3 + 1);
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn reduce_is_a_sequential_fold_in_cell_order() {
+        // A non-commutative fold (string concat) detects any merge-order
+        // deviation from the sequential loop.
+        let cells: Vec<u32> = (0..23).collect();
+        let want = cells.iter().fold(String::new(), |acc, c| format!("{acc},{c}"));
+        for threads in [1, 2, 4, 7] {
+            let got = parallel_sweep_reduce(
+                threads,
+                &cells,
+                |&c| c,
+                String::new(),
+                |acc, c| format!("{acc},{c}"),
+            );
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sweep_threads_is_positive() {
+        assert!(sweep_threads() >= 1);
     }
 }

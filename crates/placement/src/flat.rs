@@ -31,14 +31,20 @@
 
 use crate::dp::{ServerStats, WorkerDp, WorkerPlan};
 use crate::knapsack::select_job_subset;
-use crate::netpack::{NetPackPlacer, ScoringMode};
+use crate::netpack::{BatchMode, NetPackPlacer, ScoringMode};
 use crate::placer::{BatchOutcome, RunningJob};
 use crate::select::CandidateFilter;
-use netpack_metrics::{parallel_sweep, PerfCounters, Stopwatch};
+use crate::spec::{place_batch_spec, FastWorld};
+use netpack_metrics::{parallel_sweep_reduce, parallel_sweep_with, PerfCounters, Stopwatch};
 use netpack_model::Placement;
 use netpack_topology::{Cluster, FlatTopology, LinkId, RackId, ServerId};
 use netpack_waterfill::{estimate, IncrementalEstimator, PlacedJob, SteadyState};
 use netpack_workload::Job;
+use std::sync::{Mutex, TryLockError};
+
+/// Minimum plan count before the PS-scoring loop fans out across threads;
+/// below this the pool-grab overhead outweighs the dozen scores saved.
+const PLAN_PAR_MIN: usize = 16;
 
 /// Mixes a 64-bit word (splitmix64 finalizer) — the class-table hash.
 fn mix64(mut x: u64) -> u64 {
@@ -94,24 +100,117 @@ pub(crate) struct FlatBatch {
     /// Server ids grouped by class, ascending within each class.
     members: Vec<u32>,
     // -- per-plan scratch (stamped, never cleared) --
+    /// The master [`PlanScratch`], used by every sequential plan loop.
+    scratch: PlanScratch,
+    /// Extra scratches for the parallel plan loop, lazily grown to the
+    /// worker count; workers grab a free one per plan via `try_lock`.
+    plan_pool: Vec<Mutex<PlanScratch>>,
+    /// Gradient-sharding arena: per-server PS scores for the winning plan,
+    /// reused across jobs instead of a fresh length-`n` `Vec` each time.
+    ps_scored: Vec<(f64, ServerId)>,
+}
+
+/// Per-plan stamped scratch: which servers and racks the current plan
+/// touches, plus its per-rack worker totals. Extracted from [`FlatBatch`]
+/// so the parallel plan loop can hand each worker an independent copy; the
+/// stamp trick (bump a counter instead of clearing arrays) is unchanged,
+/// and scores are a pure function of the plan — never of which scratch, or
+/// whose stamp history, computed them.
+#[derive(Debug, Default)]
+struct PlanScratch {
     chosen_stamp: Vec<u32>,
     rack_stamp: Vec<u32>,
     stamp: u32,
     rack_workers: Vec<(RackId, u32)>,
 }
 
+impl PlanScratch {
+    /// Size the stamp arenas for a topology (idempotent).
+    fn ensure(&mut self, ns: usize, nr: usize) {
+        if self.chosen_stamp.len() != ns || self.rack_stamp.len() != nr {
+            self.chosen_stamp = vec![0; ns];
+            self.rack_stamp = vec![0; nr];
+            self.stamp = 0;
+        }
+    }
+
+    /// Stamp one plan's chosen servers and racks and rebuild the per-rack
+    /// worker totals (first-seen order, as the reference computes them).
+    /// Returns the stamp identifying this plan in the stamp arenas.
+    fn begin(&mut self, topo: &FlatTopology, gpus_free: &[u32], plan: &WorkerPlan) -> u32 {
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            self.chosen_stamp.fill(0);
+            self.rack_stamp.fill(0);
+            self.stamp = 1;
+        }
+        let stamp = self.stamp;
+        self.rack_workers.clear();
+        for &sid in &plan.servers {
+            self.chosen_stamp[sid.0] = stamp;
+            let r = RackId(topo.rack_of(sid.0));
+            let w = gpus_free[sid.0];
+            match self.rack_workers.iter_mut().find(|(rr, _)| *rr == r) {
+                Some(e) => e.1 += w,
+                None => {
+                    self.rack_workers.push((r, w));
+                    self.rack_stamp[r.0] = stamp;
+                }
+            }
+        }
+        stamp
+    }
+}
+
+/// Grab any free slot from a scratch pool, spinning across entries until
+/// one unlocks. Pools are sized to the worker count, so a free entry
+/// always exists; a poisoned entry is reclaimed (its contents are scratch,
+/// valid in any state).
+pub(crate) fn grab_slot<T>(pool: &[Mutex<T>]) -> std::sync::MutexGuard<'_, T> {
+    loop {
+        for m in pool {
+            match m.try_lock() {
+                Ok(g) => return g,
+                Err(TryLockError::Poisoned(p)) => return p.into_inner(),
+                Err(TryLockError::WouldBlock) => {}
+            }
+        }
+        std::hint::spin_loop();
+    }
+}
+
+/// What kind of decision [`NetPackPlacer::place_one_flat_traced`] reached —
+/// the footprint the speculation engine validates against later commits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum SpecProbe {
+    /// Single-server shortcut hit: the job fits whole on `server`, with
+    /// `fit` GPUs left over and `avail` residual bandwidth — the winning
+    /// triple of the tightest-fit scan, kept for exact revalidation.
+    Local { server: usize, fit: usize, avail: f64 },
+    /// Spanning placement via the DP / PS-scoring pipeline.
+    Spanning,
+    /// No feasible plan; the job defers.
+    Deferred,
+}
+
 impl FlatBatch {
     pub(crate) fn new(cluster: &Cluster) -> Self {
         let topo = FlatTopology::new(cluster);
-        let ns = topo.num_servers();
-        let nr = topo.num_racks();
         let gpus_free: Vec<u32> = cluster
             .servers()
             .iter()
             .map(|s| s.gpus_free() as u32)
             .collect();
+        Self::with_topo(topo, gpus_free)
+    }
+
+    fn with_topo(topo: FlatTopology, gpus_free: Vec<u32>) -> Self {
+        let ns = topo.num_servers();
+        let nr = topo.num_racks();
         let pods: Vec<usize> = (0..topo.num_pods()).collect();
         let cap = (2 * ns.max(1)).next_power_of_two();
+        let mut scratch = PlanScratch::default();
+        scratch.ensure(ns, nr);
         FlatBatch {
             topo,
             gpus_free,
@@ -124,10 +223,38 @@ impl FlatBatch {
             class_of: vec![0; ns],
             class_start: Vec::new(),
             members: vec![0; ns],
-            chosen_stamp: vec![0; ns],
-            rack_stamp: vec![0; nr],
-            stamp: 0,
-            rack_workers: Vec::new(),
+            scratch,
+            plan_pool: Vec::new(),
+            ps_scored: Vec::new(),
+        }
+    }
+
+    /// An independent copy for a speculative scoring worker: same topology
+    /// and GPU-ledger snapshot, fresh scratch. Forks are explicit (no
+    /// derived `Clone`) and never copy the plan pool.
+    pub(crate) fn fork(&self) -> FlatBatch {
+        Self::with_topo(self.topo.clone(), self.gpus_free.clone())
+    }
+
+    /// Re-align a fork's GPU ledger with the master's before a scoring
+    /// round — the only state a fork shares with its master.
+    pub(crate) fn sync_from(&mut self, master: &FlatBatch) {
+        self.gpus_free.copy_from_slice(&master.gpus_free);
+    }
+
+    /// The per-server free-GPU ledger (speculation validation reads it).
+    pub(crate) fn ledger(&self) -> &[u32] {
+        &self.gpus_free
+    }
+
+    /// Grow the plan-scoring scratch pool to `workers` entries.
+    fn ensure_plan_pool(&mut self, workers: usize) {
+        let ns = self.topo.num_servers();
+        let nr = self.topo.num_racks();
+        while self.plan_pool.len() < workers {
+            let mut s = PlanScratch::default();
+            s.ensure(ns, nr);
+            self.plan_pool.push(Mutex::new(s));
         }
     }
 
@@ -224,32 +351,6 @@ impl FlatBatch {
         }
     }
 
-    /// Stamp one plan's chosen servers and racks and rebuild the per-rack
-    /// worker totals (first-seen order, as the reference computes them).
-    /// Returns the stamp identifying this plan in the stamp arenas.
-    fn begin_plan(&mut self, plan: &WorkerPlan) -> u32 {
-        self.stamp = self.stamp.wrapping_add(1);
-        if self.stamp == 0 {
-            self.chosen_stamp.fill(0);
-            self.rack_stamp.fill(0);
-            self.stamp = 1;
-        }
-        let stamp = self.stamp;
-        self.rack_workers.clear();
-        for &sid in &plan.servers {
-            self.chosen_stamp[sid.0] = stamp;
-            let r = RackId(self.topo.rack_of(sid.0));
-            let w = self.gpus_free[sid.0];
-            match self.rack_workers.iter_mut().find(|(rr, _)| *rr == r) {
-                Some(e) => e.1 += w,
-                None => {
-                    self.rack_workers.push((r, w));
-                    self.rack_stamp[r.0] = stamp;
-                }
-            }
-        }
-        stamp
-    }
 }
 
 impl NetPackPlacer {
@@ -259,6 +360,7 @@ impl NetPackPlacer {
     fn score_candidate_flat(
         &self,
         fb: &FlatBatch,
+        ps: &PlanScratch,
         cluster: &Cluster,
         state: &SteadyState,
         capacity: f64,
@@ -266,14 +368,14 @@ impl NetPackPlacer {
         sid: usize,
         stamp: u32,
     ) -> f64 {
-        let chosen = fb.chosen_stamp[sid] == stamp;
+        let chosen = ps.chosen_stamp[sid] == stamp;
         let eps = u32::from(!chosen);
         let own_workers = if chosen { fb.gpus_free[sid] } else { 0 };
         let s_flows = state.server_flows(ServerId(sid)) + own_workers;
         let f_max = plan.max_flows.max(s_flows + eps);
         let avail = state.server_available_gbps(ServerId(sid));
         let base = plan.value + avail - (capacity - avail) / (f64::from(s_flows + eps) + 1.0);
-        let term = self.hotspot_term(cluster, state, &fb.rack_workers, ServerId(sid), f_max);
+        let term = self.hotspot_term(cluster, state, &ps.rack_workers, ServerId(sid), f_max);
         base + term
     }
 
@@ -283,16 +385,18 @@ impl NetPackPlacer {
     /// is covered by one representative per [`ClassKey`] class (the
     /// lowest-id member outside the plan's racks). `evals` counts actual
     /// score evaluations.
+    #[allow(clippy::too_many_arguments)]
     fn score_plan_flat(
         &self,
-        fb: &mut FlatBatch,
+        fb: &FlatBatch,
+        ps: &mut PlanScratch,
         cluster: &Cluster,
         state: &SteadyState,
         capacity: f64,
         plan: &WorkerPlan,
         evals: &mut u64,
     ) -> Option<(f64, ServerId)> {
-        let stamp = fb.begin_plan(plan);
+        let stamp = ps.begin(&fb.topo, &fb.gpus_free, plan);
         let mut best: Option<(f64, usize)> = None;
         let consider = |score: f64, sid: usize, best: &mut Option<(f64, usize)>| {
             let wins = match *best {
@@ -305,10 +409,11 @@ impl NetPackPlacer {
         };
         // Servers in the plan's racks: hot-spot geometry varies per
         // server, score each one.
-        for ri in 0..fb.rack_workers.len() {
-            let rack = fb.rack_workers[ri].0;
+        for ri in 0..ps.rack_workers.len() {
+            let rack = ps.rack_workers[ri].0;
             for sid in fb.topo.rack_server_range(rack.0) {
-                let score = self.score_candidate_flat(fb, cluster, state, capacity, plan, sid, stamp);
+                let score =
+                    self.score_candidate_flat(fb, ps, cluster, state, capacity, plan, sid, stamp);
                 *evals += 1;
                 consider(score, sid, &mut best);
             }
@@ -322,9 +427,10 @@ impl NetPackPlacer {
             let rep = fb.members[start..end]
                 .iter()
                 .map(|&m| m as usize)
-                .find(|&m| fb.rack_stamp[fb.topo.rack_of(m)] != stamp);
+                .find(|&m| ps.rack_stamp[fb.topo.rack_of(m)] != stamp);
             if let Some(sid) = rep {
-                let score = self.score_candidate_flat(fb, cluster, state, capacity, plan, sid, stamp);
+                let score =
+                    self.score_candidate_flat(fb, ps, cluster, state, capacity, plan, sid, stamp);
                 *evals += 1;
                 consider(score, sid, &mut best);
             }
@@ -342,9 +448,25 @@ impl NetPackPlacer {
         job: &Job,
         perf: &mut PerfCounters,
     ) -> Option<Placement> {
+        self.place_one_flat_traced(fb, cluster, state, job, perf).0
+    }
+
+    /// [`place_one_flat`](Self::place_one_flat) plus the [`SpecProbe`]
+    /// describing what kind of decision was reached — the footprint the
+    /// speculation engine revalidates after intervening commits.
+    pub(crate) fn place_one_flat_traced(
+        &self,
+        fb: &mut FlatBatch,
+        cluster: &Cluster,
+        state: &SteadyState,
+        job: &Job,
+        perf: &mut PerfCounters,
+    ) -> (Option<Placement>, SpecProbe) {
         let n = fb.topo.num_servers();
+        let threads = self.threads();
         // Single-server shortcut: tightest fit, ties toward the most
         // residual bandwidth, first wins (= the reference's `min_by`).
+        let scan_start = Stopwatch::start();
         let mut single: Option<(usize, f64, usize)> = None;
         for s in 0..n {
             let free = fb.gpus_free[s] as usize;
@@ -365,8 +487,12 @@ impl NetPackPlacer {
                 single = Some((d, avail, s));
             }
         }
-        if let Some((_, _, s)) = single {
-            return Some(Placement::local(ServerId(s), job.gpus));
+        perf.record("single_scan", scan_start.elapsed());
+        if let Some((fit, avail, s)) = single {
+            return (
+                Some(Placement::local(ServerId(s), job.gpus)),
+                SpecProbe::Local { server: s, fit, avail },
+            );
         }
 
         // Pod-sharded candidate selection feeding the same pruned DP as
@@ -380,7 +506,7 @@ impl NetPackPlacer {
         let filter = {
             let topo = &fb.topo;
             let gpus_free = &fb.gpus_free;
-            let shards = parallel_sweep(&fb.pods, |&pod| {
+            let shards = parallel_sweep_with(threads, &fb.pods, |&pod| {
                 let mut shard = CandidateFilter::new(gps, job.gpus, slack, fs_max);
                 for s in topo.pod_server_range(pod) {
                     let avail = state.server_available_gbps(ServerId(s));
@@ -413,59 +539,111 @@ impl NetPackPlacer {
         let plans = dp.plans(&stats, job.gpus, slack);
         perf.record("worker_dp", dp_start.elapsed());
         if plans.is_empty() {
-            return None;
+            return (None, SpecProbe::Deferred);
         }
 
         // PSPlacement with class-deduplicated scoring.
         perf.incr("plans_considered", plans.len() as u64);
-        let scoring_start = Stopwatch::start();
+        let class_start = Stopwatch::start();
         fb.build_classes(cluster, state);
-        let mut best: Option<(f64, usize, ServerId)> = None;
-        let mut evals = 0u64;
-        for (pi, plan) in plans.iter().enumerate() {
-            if let Some((score, sid)) =
-                self.score_plan_flat(fb, cluster, state, capacity, plan, &mut evals)
-            {
-                if best.is_none_or(|(b, _, _)| score > b) {
-                    best = Some((score, pi, sid));
+        perf.record("class_build", class_start.elapsed());
+        let scoring_start = Stopwatch::start();
+        let (best, evals) = if plans.len() >= PLAN_PAR_MIN && threads > 1 {
+            // Workers score disjoint plan ranges concurrently on pooled
+            // scratches; the ordered fold re-applies the sequential
+            // tie-break (strictly greater wins, lowest plan index keeps
+            // ties) in plan order, so the winner is bit-identical to the
+            // loop below for any worker count.
+            fb.ensure_plan_pool(threads);
+            let fbr: &FlatBatch = fb;
+            let cells: Vec<usize> = (0..plans.len()).collect();
+            parallel_sweep_reduce(
+                threads,
+                &cells,
+                |&pi| {
+                    let mut scratch = grab_slot(&fbr.plan_pool);
+                    let mut e = 0u64;
+                    let r = self.score_plan_flat(
+                        fbr, &mut scratch, cluster, state, capacity, &plans[pi], &mut e,
+                    );
+                    (pi, r, e)
+                },
+                (None, 0u64),
+                |(best, evals): (Option<(f64, usize, ServerId)>, u64), (pi, r, e)| {
+                    let best = match r {
+                        Some((score, sid))
+                            if best.is_none_or(|(b, _, _)| score > b) =>
+                        {
+                            Some((score, pi, sid))
+                        }
+                        _ => best,
+                    };
+                    (best, evals + e)
+                },
+            )
+        } else {
+            let mut scratch = std::mem::take(&mut fb.scratch);
+            let mut best: Option<(f64, usize, ServerId)> = None;
+            let mut evals = 0u64;
+            for (pi, plan) in plans.iter().enumerate() {
+                if let Some((score, sid)) =
+                    self.score_plan_flat(fb, &mut scratch, cluster, state, capacity, plan, &mut evals)
+                {
+                    if best.is_none_or(|(b, _, _)| score > b) {
+                        best = Some((score, pi, sid));
+                    }
                 }
             }
-        }
+            fb.scratch = scratch;
+            (best, evals)
+        };
         perf.incr("ps_candidates_scored", evals);
         perf.record("ps_scoring", scoring_start.elapsed());
-        let (_, pi, ps) = best?;
+        let Some((_, pi, ps)) = best else {
+            return (None, SpecProbe::Deferred);
+        };
         let plan = &plans[pi];
 
         // Gradient sharding (k > 1): rank every server for the winning
-        // plan, exactly as the struct path does.
+        // plan, exactly as the struct path does, into the reused arena.
         let pses = if self.config.pses_per_job <= 1 {
             vec![ps]
         } else {
-            let stamp = fb.begin_plan(plan);
-            let mut scored: Vec<(f64, ServerId)> = (0..n)
-                .map(|sid| {
-                    let score = self
-                        .score_candidate_flat(fb, cluster, state, capacity, plan, sid, stamp);
-                    (score, ServerId(sid))
-                })
-                .collect();
+            let mut scratch = std::mem::take(&mut fb.scratch);
+            let mut scored = std::mem::take(&mut fb.ps_scored);
+            let stamp = scratch.begin(&fb.topo, &fb.gpus_free, plan);
+            scored.clear();
+            for sid in 0..n {
+                let score =
+                    self.score_candidate_flat(fb, &scratch, cluster, state, capacity, plan, sid, stamp);
+                scored.push((score, ServerId(sid)));
+            }
             scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
-            scored
-                .into_iter()
+            let pses: Vec<ServerId> = scored
+                .iter()
                 .take(self.config.pses_per_job)
-                .map(|(_, sid)| sid)
-                .collect()
+                .map(|&(_, sid)| sid)
+                .collect();
+            fb.ps_scored = scored;
+            fb.scratch = scratch;
+            pses
         };
 
         // Materialize and release surplus: PS's own server first, then the
         // least-loaded (largest, last on ties — the reference's
-        // `max_by_key`) chosen server.
+        // `max_by_key`) chosen server. Drained entries stay in place at
+        // zero instead of paying an O(n) `remove` each: a zero can never
+        // win `w >= bw` while a positive worker remains (and one always
+        // does while surplus > 0), and compaction preserves the survivors'
+        // relative order, so the last-max pick is exactly the reference's.
         let mut workers: Vec<(ServerId, usize)> = plan
             .servers
             .iter()
             .map(|&s| (s, fb.gpus_free[s.0] as usize))
             .collect();
-        let mut surplus = plan.gpus.checked_sub(job.gpus)?;
+        let Some(mut surplus) = plan.gpus.checked_sub(job.gpus) else {
+            return (None, SpecProbe::Deferred);
+        };
         while surplus > 0 {
             let idx = match workers.iter().position(|&(s, w)| s == ps && w > 0) {
                 Some(i) => i,
@@ -476,17 +654,18 @@ impl NetPackPlacer {
                             max = Some((i, w));
                         }
                     }
-                    max?.0
+                    match max {
+                        Some((i, _)) => i,
+                        None => return (None, SpecProbe::Deferred),
+                    }
                 }
             };
             let take = workers[idx].1.min(surplus);
             workers[idx].1 -= take;
             surplus -= take;
-            if workers[idx].1 == 0 {
-                workers.remove(idx);
-            }
         }
-        Some(Placement::new_sharded(workers, pses))
+        workers.retain(|&(_, w)| w > 0);
+        (Some(Placement::new_sharded(workers, pses)), SpecProbe::Spanning)
     }
 
     /// `place_batch` over the flat arrays: same four steps, no cluster
@@ -522,15 +701,33 @@ impl NetPackPlacer {
                 let start = Stopwatch::start();
                 let mut inc = IncrementalEstimator::new(cluster, &running_placed);
                 perf.record("waterfill_solve", start.elapsed());
-                for job in ordered {
-                    match self.place_one_flat(&mut fb, cluster, inc.state(), job, &mut perf) {
-                        Some(placement) if fb.commit(&placement) => {
-                            let start = Stopwatch::start();
-                            inc.push(cluster, PlacedJob::new(job.id, cluster, &placement));
-                            perf.record("waterfill_solve", start.elapsed());
-                            outcome.placed.push((job.clone(), placement));
+                match self.config.batch {
+                    BatchMode::Spec => {
+                        let mut world = FastWorld {
+                            cluster,
+                            inc: &mut inc,
+                        };
+                        let out =
+                            place_batch_spec(self, &mut fb, &mut world, &ordered, &mut perf);
+                        outcome.placed.extend(out.placed);
+                        outcome.deferred.extend(out.deferred);
+                    }
+                    BatchMode::Seq => {
+                        for job in ordered {
+                            let one_start = Stopwatch::start();
+                            let placed =
+                                self.place_one_flat(&mut fb, cluster, inc.state(), job, &mut perf);
+                            perf.record("place_one", one_start.elapsed());
+                            match placed {
+                                Some(placement) if fb.commit(&placement) => {
+                                    let start = Stopwatch::start();
+                                    inc.push(cluster, PlacedJob::new(job.id, cluster, &placement));
+                                    perf.record("waterfill_solve", start.elapsed());
+                                    outcome.placed.push((job.clone(), placement));
+                                }
+                                _ => outcome.deferred.push(job.clone()),
+                            }
                         }
-                        _ => outcome.deferred.push(job.clone()),
                     }
                 }
                 let stats = *inc.stats();
@@ -538,7 +735,9 @@ impl NetPackPlacer {
                 perf.incr("waterfill_jobs_resolved", stats.jobs_resolved);
                 perf.incr("waterfill_jobs_reused", stats.jobs_reused);
                 perf.incr("waterfill_components_solved", stats.components_solved);
+                let ina_start = Stopwatch::start();
                 self.enable_ina(cluster, running, &mut outcome.placed, Some(inc.state()), &mut perf);
+                perf.record("ina_enable", ina_start.elapsed());
             }
             ScoringMode::Sequential => {
                 let mut active: Vec<PlacedJob> =

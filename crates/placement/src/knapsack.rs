@@ -38,6 +38,15 @@ pub fn select_job_subset(batch: &[Job], free_gpus: usize) -> Vec<usize> {
     if eligible.is_empty() {
         return Vec::new();
     }
+    // Take-all fast path: when every eligible job fits at once and every
+    // value clears the DP's tie-break epsilon, the table provably selects
+    // all of them (each row strictly improves at every capacity ≥ its
+    // prefix weight), so the O(|Jobs| × |GPUs|) sweep — 20M cells on a
+    // 200K-GPU cluster — is skipped without changing a single pick.
+    let total: usize = eligible.iter().map(|&i| batch[i].gpus).sum();
+    if total <= free_gpus && eligible.iter().all(|&i| batch[i].value > 1e-12) {
+        return eligible;
+    }
     // value[w]: best total value using capacity exactly <= w.
     // choice[item][w]: whether eligible[item] is taken at capacity w.
     let n = eligible.len();
@@ -116,6 +125,19 @@ mod tests {
         let batch = vec![job(0, 4, 2.0), job(1, 2, 2.0)];
         let picked = select_job_subset(&batch, 4);
         assert_eq!(picked, vec![1]);
+    }
+
+    #[test]
+    fn take_all_fast_path_matches_the_dp() {
+        // Mixed instances straddling the fast-path condition: whenever
+        // everything fits, the answer must equal the DP's (all eligible),
+        // including zero-value jobs that the DP's epsilon tie-break drops.
+        let all_fit = vec![job(0, 3, 2.0), job(1, 5, 0.5), job(2, 1, 4.0)];
+        assert_eq!(select_job_subset(&all_fit, 9), vec![0, 1, 2]);
+        // A sub-epsilon value never beats the "fewer GPUs used" tie-break:
+        // the slow path drops such a job, so the fast path must not engage.
+        let with_eps = vec![job(0, 3, 2.0), job(1, 5, 1e-13)];
+        assert_eq!(select_job_subset(&with_eps, 9), vec![0]);
     }
 
     #[test]

@@ -81,12 +81,13 @@ mod placer;
 mod prior;
 mod select;
 mod session;
+mod spec;
 
 pub use baselines::{FlowBalance, GpuBalance, LeastFragmentation, RandomPlacer};
 pub use dp::{ServerStats, WorkerDp, WorkerPlan};
 pub use exact::{ExactMode, ExactPlacer};
 pub use knapsack::select_job_subset;
-pub use netpack::{HotSpotTerm, InaPolicy, NetPackConfig, NetPackPlacer, ScoringMode};
+pub use netpack::{BatchMode, HotSpotTerm, InaPolicy, NetPackConfig, NetPackPlacer, ScoringMode};
 pub use netpack_topology::TopoMode;
 pub use select::CandidateFilter;
 pub use placer::{batch_comm_time_s, BatchOutcome, Placer, RunningJob};

@@ -92,6 +92,36 @@ pub enum ScoringMode {
     Sequential,
 }
 
+/// Batch execution strategy for the flat fast path: how the per-batch
+/// greedy loop is driven (see `spec.rs` for the engine).
+///
+/// Placements and objective are **bit-identical** between the two modes by
+/// construction: speculative scores are only committed when provably equal
+/// to what the sequential loop would have computed, and re-scored
+/// otherwise. Pinned by the `spec_seq_equivalence` property tests and the
+/// `scripts/check.sh` smoke byte-diff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchMode {
+    /// Score pending jobs concurrently against the current state, commit
+    /// them in the sequential order, and re-score only jobs whose
+    /// speculation a commit invalidated (the default).
+    #[default]
+    Spec,
+    /// The reference one-job-at-a-time loop.
+    Seq,
+}
+
+impl BatchMode {
+    /// Reads `NETPACK_BATCH`: `seq` selects the reference loop; anything
+    /// else — including unset — selects the speculative engine.
+    pub fn from_env() -> Self {
+        match std::env::var("NETPACK_BATCH").as_deref() {
+            Ok("seq") => BatchMode::Seq,
+            _ => BatchMode::Spec,
+        }
+    }
+}
+
 /// Tunable knobs of [`NetPackPlacer`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct NetPackConfig {
@@ -116,6 +146,15 @@ pub struct NetPackConfig {
     /// [`TopoMode`]); placements are identical either way. Defaults to
     /// the `NETPACK_TOPO` environment variable (flat unless `struct`).
     pub topo: TopoMode,
+    /// Batch execution strategy (see [`BatchMode`]); placements are
+    /// identical either way. Defaults to the `NETPACK_BATCH` environment
+    /// variable (speculative unless `seq`).
+    pub batch: BatchMode,
+    /// Worker-thread override for the placer's parallel regions. `None`
+    /// follows `NETPACK_THREADS` clamped to the machine (see
+    /// [`netpack_metrics::sweep_threads`]); equivalence tests pin explicit
+    /// counts here to exercise every chunking of the work.
+    pub threads: Option<usize>,
 }
 
 impl Default for NetPackConfig {
@@ -128,6 +167,8 @@ impl Default for NetPackConfig {
             pses_per_job: 1,
             scoring: ScoringMode::default(),
             topo: TopoMode::from_env(),
+            batch: BatchMode::from_env(),
+            threads: None,
         }
     }
 }
@@ -155,6 +196,15 @@ impl NetPackPlacer {
             config,
             perf: PerfCounters::new(),
         }
+    }
+
+    /// Effective worker count for this placer's parallel regions: the
+    /// explicit [`NetPackConfig::threads`] override, or the environment /
+    /// hardware default.
+    pub(crate) fn threads(&self) -> usize {
+        self.config
+            .threads
+            .unwrap_or_else(netpack_metrics::sweep_threads)
     }
 
     /// The active configuration.

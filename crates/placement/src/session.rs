@@ -30,8 +30,9 @@
 
 use crate::flat::FlatBatch;
 use crate::knapsack::select_job_subset;
-use crate::netpack::{NetPackConfig, NetPackPlacer, ScoringMode};
+use crate::netpack::{BatchMode, NetPackConfig, NetPackPlacer, ScoringMode};
 use crate::placer::{BatchOutcome, RunningJob};
+use crate::spec::{place_batch_spec, SessionWorld};
 use netpack_metrics::{PerfCounters, Stopwatch};
 use netpack_topology::{Cluster, JobId, TopoMode, TopologyError};
 use netpack_waterfill::{IncrementalEstimator, PlacedJob, SteadyState};
@@ -205,29 +206,52 @@ impl NetPackSession {
         ordered.sort_by(|a, b| b.value.total_cmp(&a.value).then(a.id.cmp(&b.id)));
 
         // Steps 2-3 per job against the warm estimator; both ledgers (the
-        // flat mirror and the cluster) advance together.
+        // flat mirror and the cluster) advance together. The speculative
+        // engine and the reference loop are bit-identical by construction
+        // (`spec.rs`).
         self.pushed_ina.clear();
-        for job in ordered {
-            match self
-                .placer
-                .place_one_flat(&mut self.fb, &self.cluster, self.tracker.state(), job, &mut perf)
-            {
-                Some(placement) if self.fb.commit(&placement) => {
-                    if !allocate_all(&mut self.cluster, &placement) {
-                        // The two ledgers disagreed — refuse the placement
-                        // rather than panic, and keep them in step.
-                        self.fb.credit_placement(&placement);
-                        outcome.deferred.push(job.clone());
-                        continue;
+        match self.placer.config().batch {
+            BatchMode::Spec => {
+                let mut world = SessionWorld {
+                    cluster: &mut self.cluster,
+                    tracker: &mut self.tracker,
+                    pushed_ina: &mut self.pushed_ina,
+                };
+                let out =
+                    place_batch_spec(&self.placer, &mut self.fb, &mut world, &ordered, &mut perf);
+                outcome.placed.extend(out.placed);
+                outcome.deferred.extend(out.deferred);
+            }
+            BatchMode::Seq => {
+                for job in ordered {
+                    match self.placer.place_one_flat(
+                        &mut self.fb,
+                        &self.cluster,
+                        self.tracker.state(),
+                        job,
+                        &mut perf,
+                    ) {
+                        Some(placement) if self.fb.commit(&placement) => {
+                            if !allocate_all(&mut self.cluster, &placement) {
+                                // The two ledgers disagreed — refuse the
+                                // placement rather than panic, and keep
+                                // them in step.
+                                self.fb.credit_placement(&placement);
+                                outcome.deferred.push(job.clone());
+                                continue;
+                            }
+                            let start = Stopwatch::start();
+                            self.tracker.push(
+                                &self.cluster,
+                                PlacedJob::new(job.id, &self.cluster, &placement),
+                            );
+                            perf.record("waterfill_solve", start.elapsed());
+                            self.pushed_ina.push(placement.ina_enabled());
+                            outcome.placed.push((job.clone(), placement));
+                        }
+                        _ => outcome.deferred.push(job.clone()),
                     }
-                    let start = Stopwatch::start();
-                    self.tracker
-                        .push(&self.cluster, PlacedJob::new(job.id, &self.cluster, &placement));
-                    perf.record("waterfill_solve", start.elapsed());
-                    self.pushed_ina.push(placement.ina_enabled());
-                    outcome.placed.push((job.clone(), placement));
                 }
-                _ => outcome.deferred.push(job.clone()),
             }
         }
 
@@ -317,7 +341,7 @@ impl NetPackSession {
 }
 
 /// Allocate every worker on the cluster ledger, rolling back on failure.
-fn allocate_all(cluster: &mut Cluster, placement: &netpack_model::Placement) -> bool {
+pub(crate) fn allocate_all(cluster: &mut Cluster, placement: &netpack_model::Placement) -> bool {
     for (i, &(s, w)) in placement.workers().iter().enumerate() {
         if cluster.allocate_gpus(s, w).is_err() {
             for &(s2, w2) in &placement.workers()[..i] {

@@ -2,9 +2,9 @@
 //! NetPack's DP never loses to a greedy plan on the same server values.
 
 use netpack_placement::{
-    batch_comm_time_s, CandidateFilter, Comb, FlowBalance, GpuBalance, LeastFragmentation,
-    NetPackConfig, NetPackPlacer, OptimusLike, Placer, RandomPlacer, RunningJob, ScoringMode,
-    ServerStats, TetrisLike, TopoMode, WorkerDp,
+    batch_comm_time_s, BatchMode, CandidateFilter, Comb, FlowBalance, GpuBalance,
+    LeastFragmentation, NetPackConfig, NetPackPlacer, OptimusLike, Placer, RandomPlacer,
+    RunningJob, ScoringMode, ServerStats, TetrisLike, TopoMode, WorkerDp,
 };
 use netpack_model::Placement;
 use netpack_topology::{Cluster, ClusterSpec, JobId, ServerId};
@@ -310,6 +310,94 @@ proptest! {
         prop_assert_eq!(a.kept(), b.kept());
     }
 
+}
+
+/// Speculation-conflict stress: one heavily loaded rack, many equal-value
+/// small jobs. Every speculated job targets the same least-loaded servers,
+/// so commits invalidate the speculations behind them round after round —
+/// the worst case for the conflict/re-score protocol (DESIGN.md §3.13).
+#[test]
+fn speculative_batching_survives_same_rack_conflicts() {
+    let cluster = Cluster::new(ClusterSpec {
+        racks: 1,
+        servers_per_rack: 8,
+        gpus_per_server: 4,
+        ..ClusterSpec::paper_default()
+    });
+    // 40 jobs over 32 GPUs: the tail is deferred, covering the
+    // deferral-while-stale commit path too.
+    let batch: Vec<Job> = (0..40)
+        .map(|i| Job::builder(JobId(i), ModelKind::Vgg16, 1 + (i as usize % 2)).build())
+        .collect();
+    let reference = NetPackPlacer::new(NetPackConfig {
+        topo: TopoMode::Flat,
+        batch: BatchMode::Seq,
+        ..NetPackConfig::default()
+    })
+    .place_batch(&cluster, &[], &batch);
+    for threads in [2usize, 4] {
+        let mut placer = NetPackPlacer::new(NetPackConfig {
+            topo: TopoMode::Flat,
+            batch: BatchMode::Spec,
+            threads: Some(threads),
+            ..NetPackConfig::default()
+        });
+        let out = placer.place_batch(&cluster, &[], &batch);
+        assert_eq!(out.placed, reference.placed, "threads={threads}");
+        let ids = |jobs: &[Job]| jobs.iter().map(|j| j.id).collect::<Vec<_>>();
+        assert_eq!(ids(&out.deferred), ids(&reference.deferred));
+        // The protocol must actually have speculated here (wide windows),
+        // not silently degenerated to the sequential loop.
+        assert!(
+            placer.perf().counter("spec_rounds") > 0,
+            "spec engine never ran a round at threads={threads}"
+        );
+    }
+}
+
+proptest! {
+    // 100 seeded instances: the acceptance count for the speculative-batch
+    // equivalence sweep (DESIGN.md §3.13).
+    #![proptest_config(ProptestConfig::with_cases(100))]
+
+    /// The speculative parallel batch engine (`NETPACK_BATCH=spec`,
+    /// DESIGN.md §3.13) must be **bit-identical** to the sequential commit
+    /// loop across random fat-trees and worker counts {1, 2, 4}: the same
+    /// jobs placed with byte-equal `Placement`s, the same deferrals, and
+    /// the same batch-objective bits.
+    #[test]
+    fn speculative_and_sequential_batching_agree(
+        (cluster, batch) in arb_fat_tree().prop_flat_map(|c| {
+            let total = c.total_gpus();
+            (Just(c), arb_batch(total))
+        })
+    ) {
+        let reference = NetPackPlacer::new(NetPackConfig {
+            topo: TopoMode::Flat,
+            batch: BatchMode::Seq,
+            ..NetPackConfig::default()
+        })
+        .place_batch(&cluster, &[], &batch);
+        let obj_ref = batch_comm_time_s(&cluster, &[], &reference.placed);
+        for threads in [1usize, 2, 4] {
+            let mut spec = NetPackPlacer::new(NetPackConfig {
+                topo: TopoMode::Flat,
+                batch: BatchMode::Spec,
+                threads: Some(threads),
+                ..NetPackConfig::default()
+            });
+            let out = spec.place_batch(&cluster, &[], &batch);
+            prop_assert_eq!(out.placed.len(), reference.placed.len());
+            for ((jf, pf), (js, ps)) in out.placed.iter().zip(&reference.placed) {
+                prop_assert_eq!(jf.id, js.id);
+                prop_assert_eq!(pf, ps, "placements diverged for {:?} at threads={}", jf.id, threads);
+            }
+            let ids = |jobs: &[Job]| jobs.iter().map(|j| j.id).collect::<Vec<_>>();
+            prop_assert_eq!(ids(&out.deferred), ids(&reference.deferred));
+            let obj = batch_comm_time_s(&cluster, &[], &out.placed);
+            prop_assert_eq!(obj.to_bits(), obj_ref.to_bits());
+        }
+    }
 }
 
 proptest! {

@@ -17,7 +17,12 @@ pub struct ServiceConfig {
     pub max_batch: usize,
     /// Target upper bound on the placement work of one batch; the
     /// adaptive limit divides this by the observed per-job cost
-    /// (`NETPACK_SERVICE_LATENCY_BUDGET_US`, default 2000 µs).
+    /// (`NETPACK_SERVICE_LATENCY_BUDGET_US`, default 16000 µs). The
+    /// default is throughput-leaning: training jobs run for hours, so a
+    /// placement decision a few milliseconds later is immaterial, while
+    /// small batches pay the per-pass fixed cost (pending sort, knapsack
+    /// admission, estimator-tail reconcile) per handful of jobs. Tighten
+    /// it for latency-sensitive deployments.
     pub latency_budget: Duration,
     /// Pending-queue backpressure bound: submissions beyond this are
     /// rejected and counted (`NETPACK_SERVICE_QUEUE_CAP`, default 65536).
@@ -25,6 +30,13 @@ pub struct ServiceConfig {
     /// Command-channel depth in threaded mode; a full channel pushes
     /// back on submitters (`NETPACK_SERVICE_CHANNEL_CAP`, default 1024).
     pub channel_cap: usize,
+    /// Batching window of the threaded drain loop: after the first
+    /// command of a batch arrives, the service thread keeps sleeping up
+    /// to this long while the batch is still below the adaptive limit,
+    /// so trickling submissions coalesce into one placement pass instead
+    /// of a pass per wakeup (`NETPACK_SERVICE_GATHER_US`, default 8000 µs
+    /// — half the latency budget; 0 disables gathering).
+    pub gather: Duration,
     /// Deterministic mode (`NETPACK_SERVICE_MODE=deterministic`): batch
     /// sizing ignores wall-clock cost so identical command streams drain
     /// identically, making the event log byte-reproducible.
@@ -36,6 +48,11 @@ pub struct ServiceConfig {
     /// Additive value bump for every deferred job, re-applied each pass —
     /// the same starvation-avoidance aging the `JobManager` uses.
     pub aging_value_bump: f64,
+    /// Placer worker count the adaptive batch limit floors at (default:
+    /// [`netpack_metrics::sweep_threads`]): a batch smaller than the
+    /// worker count can't keep every speculation worker busy, so the
+    /// limit never drops below it in adaptive mode.
+    pub threads: usize,
     /// Placer configuration. Topology and scoring mode are forced to the
     /// flat fast path by the session regardless of what is set here.
     pub placer: NetPackConfig,
@@ -46,12 +63,14 @@ impl Default for ServiceConfig {
         ServiceConfig {
             min_batch: 1,
             max_batch: 256,
-            latency_budget: Duration::from_micros(2_000),
+            latency_budget: Duration::from_micros(16_000),
             queue_cap: 65_536,
             channel_cap: 1_024,
+            gather: Duration::from_micros(8_000),
             deterministic: false,
             event_log: false,
             aging_value_bump: 0.5,
+            threads: netpack_metrics::sweep_threads(),
             placer: NetPackConfig::default(),
         }
     }
@@ -83,6 +102,9 @@ impl ServiceConfig {
         if let Some(v) = env_usize("NETPACK_SERVICE_CHANNEL_CAP") {
             cfg.channel_cap = v.max(1);
         }
+        if let Some(v) = env_usize("NETPACK_SERVICE_GATHER_US") {
+            cfg.gather = Duration::from_micros(v as u64);
+        }
         if let Ok(mode) = std::env::var("NETPACK_SERVICE_MODE") {
             cfg.deterministic = mode.trim().eq_ignore_ascii_case("deterministic");
         }
@@ -110,10 +132,14 @@ pub fn adaptive_batch_limit(cost_ewma_s: f64, cfg: &ServiceConfig) -> usize {
         return cfg.max_batch;
     }
     let budget_jobs = cfg.latency_budget.as_secs_f64() / cost_ewma_s;
+    // Floor at the placer's worker count: a batch smaller than that can't
+    // keep every speculation worker busy, so shrinking further trades
+    // throughput for no latency win.
+    let floor = cfg.min_batch.max(cfg.threads.max(1)).min(cfg.max_batch);
     if budget_jobs >= cfg.max_batch as f64 {
         cfg.max_batch
     } else {
-        (budget_jobs as usize).clamp(cfg.min_batch, cfg.max_batch)
+        (budget_jobs as usize).clamp(floor, cfg.max_batch)
     }
 }
 
@@ -126,6 +152,9 @@ mod tests {
             min_batch: min,
             max_batch: max,
             latency_budget: Duration::from_micros(budget_us),
+            // Pin the worker count so these tests don't depend on the
+            // machine the suite runs on.
+            threads: 1,
             ..ServiceConfig::default()
         }
     }
@@ -154,5 +183,17 @@ mod tests {
         c.deterministic = true;
         assert_eq!(adaptive_batch_limit(1.0, &c), 512);
         assert_eq!(adaptive_batch_limit(1e-9, &c), 512);
+    }
+
+    #[test]
+    fn adaptive_limit_floors_at_the_worker_count() {
+        let mut c = cfg(1, 512, 1_000);
+        c.threads = 8;
+        // Cost so high the budget admits <1 job: the floor still hands
+        // the placer one job per speculation worker.
+        assert_eq!(adaptive_batch_limit(1.0, &c), 8);
+        // The floor never exceeds max_batch.
+        c.max_batch = 4;
+        assert_eq!(adaptive_batch_limit(1.0, &c), 4);
     }
 }

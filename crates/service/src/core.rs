@@ -119,6 +119,10 @@ pub struct ServiceCore {
     /// EWMA of per-job placement cost (seconds); drives the adaptive
     /// batch limit in threaded mode.
     cost_ewma_s: f64,
+    /// Double buffer for [`place_pass`](Self::place_pass): the drained
+    /// batch vec is swapped back in after the pass, so steady-state passes
+    /// reallocate neither the queue nor the batch.
+    batch_scratch: Vec<Job>,
 }
 
 impl ServiceCore {
@@ -134,6 +138,7 @@ impl ServiceCore {
             perf: PerfCounters::new(),
             events: Vec::new(),
             cost_ewma_s: 0.0,
+            batch_scratch: Vec::new(),
         }
     }
 
@@ -269,7 +274,8 @@ impl ServiceCore {
             return 0;
         }
         self.counters.batches += 1;
-        let mut batch = std::mem::take(&mut self.pending);
+        let mut batch =
+            std::mem::replace(&mut self.pending, std::mem::take(&mut self.batch_scratch));
         batch.sort_by(|a, b| b.value.total_cmp(&a.value).then(a.id.cmp(&b.id)));
         let n = batch.len();
 
@@ -310,6 +316,8 @@ impl ServiceCore {
                 self.session.free_gpus()
             ));
         }
+        batch.clear();
+        self.batch_scratch = batch;
         placed
     }
 

@@ -7,7 +7,7 @@
 //! from-scratch rebuild computes, placements would diverge here.
 
 use netpack_core::{JobManager, ManagerConfig};
-use netpack_placement::NetPackPlacer;
+use netpack_placement::{BatchMode, NetPackConfig, NetPackPlacer};
 use netpack_service::{Command, ServiceConfig, ServiceCore};
 use netpack_topology::{Cluster, ClusterSpec, JobId};
 use netpack_workload::{TraceKind, TraceSpec};
@@ -26,6 +26,16 @@ fn cluster() -> Cluster {
 /// followed by completing the oldest still-running job (churn keeps the
 /// warm state honest). Compare placements after every pass.
 fn run_equivalence(seed: u64, kind: TraceKind, jobs: usize, batch: usize) {
+    run_equivalence_with(seed, kind, jobs, batch, ServiceConfig::default());
+}
+
+fn run_equivalence_with(
+    seed: u64,
+    kind: TraceKind,
+    jobs: usize,
+    batch: usize,
+    svc_config: ServiceConfig,
+) {
     let trace = TraceSpec::new(kind, jobs).seed(seed).open_loop().generate();
     let jobs = trace.jobs();
 
@@ -34,7 +44,7 @@ fn run_equivalence(seed: u64, kind: TraceKind, jobs: usize, batch: usize) {
         Box::new(NetPackPlacer::default()),
         ManagerConfig::default(),
     );
-    let mut core = ServiceCore::new(cluster(), ServiceConfig::default());
+    let mut core = ServiceCore::new(cluster(), svc_config);
 
     let mut completion_order: Vec<JobId> = Vec::new();
     for (i, job) in jobs.iter().enumerate() {
@@ -123,4 +133,40 @@ fn service_matches_job_manager_on_poisson_small_batches() {
 #[test]
 fn service_matches_job_manager_on_normal_large_batches() {
     run_equivalence(29, TraceKind::Normal, 100, 16);
+}
+
+/// The speculative batch engine inside the warm session (`NETPACK_BATCH=
+/// spec` with a real multi-worker window) must stay indistinguishable from
+/// the closed-batch reference too — speculation may only change *when*
+/// jobs are scored, never what they get.
+#[test]
+fn speculative_service_matches_job_manager() {
+    for (seed, kind, threads) in [
+        (17, TraceKind::Real, 2),
+        (29, TraceKind::Normal, 4),
+    ] {
+        let config = ServiceConfig {
+            placer: NetPackConfig {
+                batch: BatchMode::Spec,
+                threads: Some(threads),
+                ..NetPackConfig::default()
+            },
+            ..ServiceConfig::default()
+        };
+        run_equivalence_with(seed, kind, 100, 8, config);
+    }
+}
+
+/// And the explicit sequential loop must as well — the two `NETPACK_BATCH`
+/// modes bracket the same reference.
+#[test]
+fn sequential_service_matches_job_manager() {
+    let config = ServiceConfig {
+        placer: NetPackConfig {
+            batch: BatchMode::Seq,
+            ..NetPackConfig::default()
+        },
+        ..ServiceConfig::default()
+    };
+    run_equivalence_with(3, TraceKind::Poisson, 90, 3, config);
 }

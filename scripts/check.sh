@@ -8,8 +8,11 @@
 # lint-baseline.txt fails), the exact-placer two-mode smoke
 # (NETPACK_EXACT=bnb vs scratch must be byte-identical), the full
 # workspace test suite, the doctests, the fig9/fig10_xl/fig14 two-mode
-# smokes, and the service determinism smoke (two identical deterministic
-# 10K-job bench_service runs must be byte-identical, stdout + event log).
+# smokes, the batch-mode smoke (NETPACK_BATCH=spec vs seq placements must
+# be byte-identical — the speculative engine's determinism gate), and the
+# service determinism smoke (two identical deterministic 10K-job
+# bench_service runs must be byte-identical, stdout + event log, and the
+# seq / multi-worker-spec variants must match them byte-for-byte too).
 # Keep this list in sync with README.md.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -69,6 +72,14 @@ if ! diff <(printf '%s\n' "$topo_flat") <(printf '%s\n' "$topo_struct"); then
 fi
 printf '%s\n' "$topo_flat"
 
+echo "==> batch-mode smoke: speculative vs sequential placements must match"
+batch_spec=$(NETPACK_SMOKE=1 NETPACK_BATCH=spec NETPACK_THREADS=4 ./target/release/fig10_xl)
+batch_seq=$(NETPACK_SMOKE=1 NETPACK_BATCH=seq ./target/release/fig10_xl)
+if ! diff <(printf '%s\n' "$batch_spec") <(printf '%s\n' "$batch_seq"); then
+    echo "check.sh: batch-mode smoke DIVERGED between NETPACK_BATCH modes" >&2
+    exit 1
+fi
+
 echo "==> service smoke: deterministic 10K-job replay must be byte-reproducible"
 svc_a=$(NETPACK_SMOKE=1 NETPACK_THREADS=1 NETPACK_SERVICE_EVENT_LOG="$exact_dir/svc_a.log" \
     ./target/release/bench_service 2> /dev/null)
@@ -80,6 +91,28 @@ if ! diff <(printf '%s\n' "$svc_a") <(printf '%s\n' "$svc_b"); then
 fi
 if ! cmp "$exact_dir/svc_a.log" "$exact_dir/svc_b.log"; then
     echo "check.sh: service smoke DIVERGED between identical runs (event log)" >&2
+    exit 1
+fi
+# Same replay through the sequential reference loop and through the
+# speculative engine with real multi-job windows: both must reproduce
+# the same bytes — the service-side leg of the spec == seq guarantee.
+svc_seq=$(NETPACK_SMOKE=1 NETPACK_THREADS=1 NETPACK_BATCH=seq \
+    NETPACK_SERVICE_EVENT_LOG="$exact_dir/svc_seq.log" \
+    ./target/release/bench_service 2> /dev/null)
+svc_spec4=$(NETPACK_SMOKE=1 NETPACK_THREADS=4 NETPACK_BATCH=spec \
+    NETPACK_SERVICE_EVENT_LOG="$exact_dir/svc_spec4.log" \
+    ./target/release/bench_service 2> /dev/null)
+if ! diff <(printf '%s\n' "$svc_a") <(printf '%s\n' "$svc_seq"); then
+    echo "check.sh: service smoke DIVERGED between NETPACK_BATCH modes (stdout)" >&2
+    exit 1
+fi
+if ! diff <(printf '%s\n' "$svc_a") <(printf '%s\n' "$svc_spec4"); then
+    echo "check.sh: service smoke DIVERGED at NETPACK_THREADS=4 spec (stdout)" >&2
+    exit 1
+fi
+if ! cmp "$exact_dir/svc_a.log" "$exact_dir/svc_seq.log" \
+    || ! cmp "$exact_dir/svc_a.log" "$exact_dir/svc_spec4.log"; then
+    echo "check.sh: service smoke DIVERGED across batch modes (event log)" >&2
     exit 1
 fi
 printf '%s\n' "$svc_a"
