@@ -193,11 +193,13 @@ impl JobManager {
             placement
                 .validate(&self.cluster, job.gpus)
                 .unwrap_or_else(|e| {
+                    // netpack-lint: allow(E1): documented `# Panics` contract — a placer returning an invalid placement is a bug in the placer, not a recoverable condition for the epoch loop
                     panic!("placer {} proposed invalid placement: {e}", self.placer.name())
                 });
             for &(s, w) in placement.workers() {
                 self.cluster
                     .allocate_gpus(s, w)
+                    // netpack-lint: allow(E1): the line above validated this placement against the same ledger, so the allocation cannot fail
                     .expect("validated placement fits the ledger");
             }
             self.index.insert(job.id, self.running.len());
@@ -290,8 +292,10 @@ impl JobManager {
                     .iter()
                     .map(|(j, p)| PlacedJob::new(j.id, &self.cluster, p))
                     .collect();
-                self.tracker = Some(IncrementalEstimator::new(&self.cluster, &placed));
                 self.tracker_ops.clear();
+                self.tracker
+                    .insert(IncrementalEstimator::new(&self.cluster, &placed))
+                    .state()
             }
             Some(ref mut tracker) => {
                 for op in self.tracker_ops.drain(..) {
@@ -302,9 +306,9 @@ impl JobManager {
                         }
                     }
                 }
+                tracker.state()
             }
         }
-        self.tracker.as_ref().expect("tracker just ensured").state()
     }
 
     /// The warm estimator's current state, if

@@ -3,7 +3,9 @@
 
 use crate::baseline::{self, Baseline};
 use crate::lexer::{self, Line};
+use crate::registry;
 use crate::rules::{self, Finding, FileContext, RULES};
+use crate::scopes;
 use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -133,6 +135,9 @@ pub struct FileReport {
     pub findings: Vec<Finding>,
     /// Number of findings silenced by a valid pragma.
     pub suppressed: usize,
+    /// `NETPACK_*` reads in this file as `(line, name)` — fed into the
+    /// workspace-level registry cross-check.
+    pub env_reads: Vec<(usize, String)>,
 }
 
 /// Analyze one file's source. `rel_path` is workspace-relative and drives
@@ -140,17 +145,21 @@ pub struct FileReport {
 pub fn analyze_source(rel_path: &str, source: &str) -> FileReport {
     let lines = lexer::scan(source);
     let is_test = test_mask(&lines);
+    let scope_tree = scopes::parse(&lines);
     let ctx = FileContext {
         path: rel_path,
         crate_name: crate_of(rel_path),
         lines: &lines,
         is_test: &is_test,
+        scopes: &scope_tree,
     };
     let raw = rules::check_file(&ctx);
 
     // Valid pragmas allow (line, rule); a comment-only pragma line also
-    // covers the next line. Malformed pragmas become findings themselves.
-    let mut allowed: BTreeMap<(usize, String), ()> = BTreeMap::new();
+    // covers the next line. Malformed pragmas become findings themselves,
+    // and so does a valid pragma that ends up suppressing nothing (P1).
+    let mut allowed: BTreeMap<(usize, String), usize> = BTreeMap::new();
+    let mut valid_pragmas: Vec<(usize, String, bool)> = Vec::new(); // (line, rule, used)
     let mut report = FileReport::default();
     for (idx, line) in lines.iter().enumerate() {
         let Some(pragma) = parse_pragma(&line.comment) else {
@@ -162,21 +171,42 @@ pub fn analyze_source(rel_path: &str, source: &str) -> FileReport {
                 path: rel_path.to_string(),
                 line: idx + 1,
                 message: problem,
+                func: None,
             });
             continue;
         }
-        allowed.insert((idx + 1, pragma.rule.clone()), ());
+        let pragma_idx = valid_pragmas.len();
+        valid_pragmas.push((idx + 1, pragma.rule.clone(), false));
+        allowed.insert((idx + 1, pragma.rule.clone()), pragma_idx);
         if line.is_comment_only() {
-            allowed.insert((idx + 2, pragma.rule), ());
+            allowed.insert((idx + 2, pragma.rule), pragma_idx);
         }
     }
     for f in raw {
-        if allowed.contains_key(&(f.line, f.rule.to_string())) {
+        if let Some(&pragma_idx) = allowed.get(&(f.line, f.rule.to_string())) {
             report.suppressed += 1;
+            valid_pragmas[pragma_idx].2 = true;
         } else {
             report.findings.push(f);
         }
     }
+    // P1 — stale pragmas. Reported after suppression so P1 itself can
+    // never be suppressed: the suppression set only shrinks.
+    for (line, rule, used) in valid_pragmas {
+        if !used {
+            report.findings.push(Finding {
+                rule: "P1",
+                path: rel_path.to_string(),
+                line,
+                message: format!(
+                    "stale pragma: `allow({rule})` suppresses nothing — the hazard is gone, delete the excuse"
+                ),
+                func: scope_tree.enclosing_fn(line).map(|s| s.name.clone()),
+            });
+        }
+    }
+    report.findings.sort_by_key(|f| f.line);
+    report.env_reads = registry::reads_in(&lines, &is_test);
     report
 }
 
@@ -234,6 +264,7 @@ impl RunReport {
 /// Analyze every eligible file under `root`.
 pub fn run_root(root: &Path) -> io::Result<RunReport> {
     let mut report = RunReport::default();
+    let mut reads: Vec<(String, usize, String)> = Vec::new();
     for path in collect_rs_files(root)? {
         let rel = path
             .strip_prefix(root)
@@ -245,6 +276,15 @@ pub fn run_root(root: &Path) -> io::Result<RunReport> {
         report.findings.extend(file.findings);
         report.suppressed += file.suppressed;
         report.files += 1;
+        for (idx, name) in file.env_reads {
+            reads.push((rel.clone(), idx + 1, name));
+        }
+    }
+    // The registry cross-check (dead entries, README table, declared
+    // gates) only makes sense at the real workspace root; fixture trees
+    // have neither README.md nor scripts/check.sh.
+    if root.join("README.md").is_file() && root.join("scripts/check.sh").is_file() {
+        report.findings.extend(registry::cross_check(root, &reads));
     }
     Ok(report)
 }
@@ -262,11 +302,84 @@ pub fn over_baseline(report: &RunReport, baseline: &Baseline) -> Vec<((String, S
         .collect()
 }
 
+/// Output format for [`run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// Human-readable lines (the default).
+    Text,
+    /// One machine-readable JSON object on stdout (`--format=json`);
+    /// CI uploads it as the findings artifact.
+    Json,
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the actionable (above-baseline) findings as one JSON object.
+fn render_json(
+    report: &RunReport,
+    over: &[((String, String), usize, usize)],
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"files\": {},\n  \"grandfathered\": {},\n  \"suppressed\": {},\n",
+        report.files,
+        report.findings.len(),
+        report.suppressed
+    ));
+    out.push_str("  \"findings\": [");
+    let mut first = true;
+    for ((rule, path), _, _) in over {
+        for f in report.findings.iter().filter(|f| f.rule == *rule && &f.path == path) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let func = match &f.func {
+                Some(name) => format!("\"{}\"", json_escape(name)),
+                None => "null".to_string(),
+            };
+            out.push_str(&format!(
+                "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"func\": {}, \"message\": \"{}\"}}",
+                json_escape(f.rule),
+                json_escape(&f.path),
+                f.line,
+                func,
+                json_escape(&f.message)
+            ));
+        }
+    }
+    if !first {
+        out.push('\n');
+        out.push_str("  ");
+    }
+    out.push_str("]\n}");
+    out
+}
+
 /// Entry point shared by `main` and the fixture tests: lint `root`
 /// against `baseline_path`, print findings to stdout, and return the
 /// process exit code (0 = clean, 1 = new findings, 2 = I/O error is
 /// raised as `Err`).
-pub fn run(root: &Path, baseline_path: &Path, update_baseline: bool) -> io::Result<i32> {
+pub fn run(
+    root: &Path,
+    baseline_path: &Path,
+    update_baseline: bool,
+    format: OutputFormat,
+) -> io::Result<i32> {
     let report = run_root(root)?;
     if update_baseline {
         let rendered = baseline::render(&report.counts());
@@ -280,6 +393,10 @@ pub fn run(root: &Path, baseline_path: &Path, update_baseline: bool) -> io::Resu
     }
     let baseline = baseline::load(baseline_path)?;
     let over = over_baseline(&report, &baseline);
+    if format == OutputFormat::Json {
+        println!("{}", render_json(&report, &over));
+        return Ok(i32::from(!over.is_empty()));
+    }
     if over.is_empty() {
         println!(
             "netpack-lint: clean ({} files, {} grandfathered, {} suppressed)",
@@ -292,7 +409,8 @@ pub fn run(root: &Path, baseline_path: &Path, update_baseline: bool) -> io::Resu
     for ((rule, path), count, allowed) in &over {
         println!("{path}: {rule}: {count} finding(s), baseline allows {allowed}:");
         for f in report.findings.iter().filter(|f| f.rule == *rule && &f.path == path) {
-            println!("  {}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+            let func = f.func.as_deref().map(|n| format!(" (in fn {n})")).unwrap_or_default();
+            println!("  {}:{}: [{}] {}{func}", f.path, f.line, f.rule, f.message);
         }
     }
     println!(

@@ -18,6 +18,11 @@ pub struct Line {
     /// Concatenated line-comment text on this line (block comments are
     /// dropped entirely — pragmas must be line comments).
     pub comment: String,
+    /// Concatenated string/char-literal interiors on this line. Comment
+    /// text is *not* included, so a token found here was written in code
+    /// (e.g. an `env::var("NETPACK_…")` read) rather than in prose — the
+    /// distinction the mode-gate registry check (M1) depends on.
+    pub literal: String,
 }
 
 impl Line {
@@ -34,6 +39,7 @@ pub fn scan(source: &str) -> Vec<Line> {
     let mut lines = Vec::new();
     let mut code = String::new();
     let mut comment = String::new();
+    let mut literal = String::new();
     let mut i = 0;
 
     // Push the current line and start a new one.
@@ -42,6 +48,7 @@ pub fn scan(source: &str) -> Vec<Line> {
             lines.push(Line {
                 code: std::mem::take(&mut code),
                 comment: std::mem::take(&mut comment),
+                literal: std::mem::take(&mut literal),
             });
         }};
     }
@@ -82,10 +89,17 @@ pub fn scan(source: &str) -> Vec<Line> {
                 code.push(' ');
             }
             '"' => {
-                i = consume_string(&chars, i, &mut code, &mut lines, &mut comment);
+                i = consume_string(&chars, i, &mut code, &mut lines, &mut comment, &mut literal);
             }
             'r' | 'b' if starts_literal_prefix(&chars, i) => {
-                i = consume_prefixed_literal(&chars, i, &mut code, &mut lines, &mut comment);
+                i = consume_prefixed_literal(
+                    &chars,
+                    i,
+                    &mut code,
+                    &mut lines,
+                    &mut comment,
+                    &mut literal,
+                );
             }
             '\'' => {
                 // Char literal vs lifetime: `'x'` / `'\n'` are literals,
@@ -140,13 +154,15 @@ fn starts_literal_prefix(chars: &[char], i: usize) -> bool {
         || rest.starts_with("br#")
 }
 
-/// Consume a `"…"` string starting at `i`, blanking its interior.
+/// Consume a `"…"` string starting at `i`, blanking its interior into
+/// `code` while copying it verbatim into `literal`.
 fn consume_string(
     chars: &[char],
     mut i: usize,
     code: &mut String,
     lines: &mut Vec<Line>,
     comment: &mut String,
+    literal: &mut String,
 ) -> usize {
     code.push('"');
     i += 1;
@@ -154,6 +170,7 @@ fn consume_string(
         match chars[i] {
             '\\' => {
                 code.push(' ');
+                literal.push(' ');
                 if i + 1 < chars.len() && chars[i + 1] != '\n' {
                     code.push(' ');
                 }
@@ -161,17 +178,20 @@ fn consume_string(
             }
             '"' => {
                 code.push('"');
+                literal.push(' ');
                 return i + 1;
             }
             '\n' => {
                 lines.push(Line {
                     code: std::mem::take(code),
                     comment: std::mem::take(comment),
+                    literal: std::mem::take(literal),
                 });
                 i += 1;
             }
-            _ => {
+            c => {
                 code.push(' ');
+                literal.push(c);
                 i += 1;
             }
         }
@@ -187,6 +207,7 @@ fn consume_prefixed_literal(
     code: &mut String,
     lines: &mut Vec<Line>,
     comment: &mut String,
+    literal: &mut String,
 ) -> usize {
     // Copy the prefix letters.
     while i < chars.len() && (chars[i] == 'r' || chars[i] == 'b') {
@@ -226,6 +247,7 @@ fn consume_prefixed_literal(
     while i < chars.len() {
         if chars[i] == '"' && chars[i + 1..].iter().take(hashes).filter(|&&c| c == '#').count() == hashes {
             code.push('"');
+            literal.push(' ');
             i += 1;
             for _ in 0..hashes {
                 code.push('#');
@@ -237,9 +259,11 @@ fn consume_prefixed_literal(
             lines.push(Line {
                 code: std::mem::take(code),
                 comment: std::mem::take(comment),
+                literal: std::mem::take(literal),
             });
         } else {
             code.push(' ');
+            literal.push(chars[i]);
         }
         i += 1;
     }
@@ -296,6 +320,25 @@ mod tests {
         assert!(c[0].contains("<'a>"), "{}", c[0]);
         assert!(c[0].contains("&'a str"));
         assert!(!c[0].contains('y'), "char interior must blank: {}", c[0]);
+    }
+
+    #[test]
+    fn literal_interiors_are_collected_per_line() {
+        let lines = scan("let v = std::env::var(\"NETPACK_SIM\"); // NETPACK_FAKE\nlet w = r#\"NETPACK_PKT\"#;");
+        assert!(lines[0].literal.contains("NETPACK_SIM"));
+        assert!(
+            !lines[0].literal.contains("NETPACK_FAKE"),
+            "comment text must not leak into literal text: {:?}",
+            lines[0].literal
+        );
+        assert!(lines[1].literal.contains("NETPACK_PKT"));
+    }
+
+    #[test]
+    fn adjacent_literals_do_not_merge_tokens() {
+        let lines = scan(r#"f("NETPACK_A", "B");"#);
+        assert!(lines[0].literal.contains("NETPACK_A"));
+        assert!(!lines[0].literal.contains("NETPACK_AB"));
     }
 
     #[test]

@@ -1,0 +1,410 @@
+//! The declared registry of `NETPACK_*` environment variables (rule M1).
+//!
+//! Every env-gated behavior in this workspace — the two-mode bit-identity
+//! gates (`NETPACK_SIM`, `NETPACK_PKT`, …), the knobs, the output
+//! redirects — is part of the repo's reproducibility contract: README.md
+//! documents it, and for mode gates `scripts/check.sh` (or a named
+//! property test) pins the two modes byte-identical. Before this module
+//! that contract lived in reviewer memory across 25+ variables. Now it is
+//! *declared* here and cross-checked mechanically:
+//!
+//! * an `env::var("NETPACK_…")` read anywhere in workspace code whose
+//!   name is not registered → M1 at the read site;
+//! * a registered variable no source file reads → M1 (dead entry);
+//! * a registered variable missing from the README env table → M1;
+//! * a `NETPACK_*` name in README that is not registered → M1;
+//! * a mode gate whose declared enforcement point (`scripts/check.sh`
+//!   line or a named test) no longer mentions it → M1.
+//!
+//! The lint crate itself is exempt from read collection — this file
+//! *names* every variable without reading any.
+
+use crate::lexer::Line;
+use crate::rules::Finding;
+use std::path::Path;
+
+/// How a variable's contract is enforced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gate {
+    /// The variable must appear in `scripts/check.sh` — the two-mode
+    /// smoke diff is the enforcement point.
+    CheckSh,
+    /// The bit-identity contract is pinned by a named test: the file
+    /// (workspace-relative) must exist and contain the needle.
+    Test {
+        /// Workspace-relative test file.
+        file: &'static str,
+        /// Identifier the file must contain (usually the test fn name).
+        needle: &'static str,
+    },
+    /// A knob or output path with no two-mode contract to enforce.
+    None,
+}
+
+/// What kind of behavior the variable controls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarKind {
+    /// Selects between implementations that must stay bit-identical.
+    ModeGate,
+    /// Tunes sizes, budgets, or thread counts.
+    Knob,
+    /// Redirects or enables an output artifact.
+    Output,
+}
+
+/// One registered environment variable.
+#[derive(Debug, Clone, Copy)]
+pub struct EnvVar {
+    /// The full variable name.
+    pub name: &'static str,
+    /// Behavior class.
+    pub kind: VarKind,
+    /// Where the contract is enforced.
+    pub gate: Gate,
+    /// One-line purpose, shown by `--explain M1`.
+    pub desc: &'static str,
+}
+
+/// Every `NETPACK_*` variable the workspace may read. Keep sorted by
+/// name; M1 cross-checks this table against the code, README.md, and
+/// scripts/check.sh on every lint run.
+pub const REGISTRY: &[EnvVar] = &[
+    EnvVar {
+        name: "NETPACK_BATCH",
+        kind: VarKind::ModeGate,
+        gate: Gate::CheckSh,
+        desc: "intra-batch engine: speculative parallel scoring (spec) or sequential reference (seq)",
+    },
+    EnvVar {
+        name: "NETPACK_BENCH_JSON",
+        kind: VarKind::Output,
+        gate: Gate::None,
+        desc: "append machine-readable benchmark rows to this file",
+    },
+    EnvVar {
+        name: "NETPACK_CSV_DIR",
+        kind: VarKind::Output,
+        gate: Gate::None,
+        desc: "also write each printed table as CSV under this directory",
+    },
+    EnvVar {
+        name: "NETPACK_EXACT",
+        kind: VarKind::ModeGate,
+        gate: Gate::CheckSh,
+        desc: "exact placer search: branch-and-bound (bnb) or exhaustive DFS (scratch)",
+    },
+    EnvVar {
+        name: "NETPACK_PERF",
+        kind: VarKind::Output,
+        gate: Gate::None,
+        desc: "print merged perf counters after a sweep",
+    },
+    EnvVar {
+        name: "NETPACK_PKT",
+        kind: VarKind::ModeGate,
+        gate: Gate::CheckSh,
+        desc: "packet-simulator round loop: fast or scratch",
+    },
+    EnvVar {
+        name: "NETPACK_QUICK",
+        kind: VarKind::Knob,
+        gate: Gate::None,
+        desc: "shrunken smoke runs (smaller clusters/traces)",
+    },
+    EnvVar {
+        name: "NETPACK_REPEATS",
+        kind: VarKind::Knob,
+        gate: Gate::None,
+        desc: "trace seeds per data point",
+    },
+    EnvVar {
+        name: "NETPACK_SCORING",
+        kind: VarKind::ModeGate,
+        gate: Gate::Test {
+            file: "crates/placement/tests/properties.rs",
+            needle: "fast_and_sequential_scoring_agree",
+        },
+        desc: "placement scoring path: fast (memoized incremental) or sequential reference",
+    },
+    EnvVar {
+        name: "NETPACK_SERVICE_BATCH_MAX",
+        kind: VarKind::Knob,
+        gate: Gate::None,
+        desc: "service: adaptive batch-size upper clamp",
+    },
+    EnvVar {
+        name: "NETPACK_SERVICE_BATCH_MIN",
+        kind: VarKind::Knob,
+        gate: Gate::None,
+        desc: "service: adaptive batch-size lower clamp",
+    },
+    EnvVar {
+        name: "NETPACK_SERVICE_CHANNEL_CAP",
+        kind: VarKind::Knob,
+        gate: Gate::None,
+        desc: "service: command-channel depth in threaded mode",
+    },
+    EnvVar {
+        name: "NETPACK_SERVICE_EVENT_LOG",
+        kind: VarKind::Output,
+        gate: Gate::None,
+        desc: "bench_service: write the per-operation event log here",
+    },
+    EnvVar {
+        name: "NETPACK_SERVICE_GATHER_US",
+        kind: VarKind::Knob,
+        gate: Gate::None,
+        desc: "service: threaded drain's command-coalescing window",
+    },
+    EnvVar {
+        name: "NETPACK_SERVICE_JOBS",
+        kind: VarKind::Knob,
+        gate: Gate::None,
+        desc: "bench_service: replay length override",
+    },
+    EnvVar {
+        name: "NETPACK_SERVICE_LATENCY_BUDGET_US",
+        kind: VarKind::Knob,
+        gate: Gate::None,
+        desc: "service: per-batch placement-latency budget",
+    },
+    EnvVar {
+        name: "NETPACK_SERVICE_MODE",
+        kind: VarKind::ModeGate,
+        gate: Gate::CheckSh,
+        desc: "service driver: deterministic byte-reproducible loop vs threaded",
+    },
+    EnvVar {
+        name: "NETPACK_SERVICE_PERF",
+        kind: VarKind::Output,
+        gate: Gate::None,
+        desc: "bench_service: dump merged service perf counters",
+    },
+    EnvVar {
+        name: "NETPACK_SERVICE_QUEUE_CAP",
+        kind: VarKind::Knob,
+        gate: Gate::None,
+        desc: "service: pending-queue backpressure bound",
+    },
+    EnvVar {
+        name: "NETPACK_SIM",
+        kind: VarKind::ModeGate,
+        gate: Gate::CheckSh,
+        desc: "flow-simulator steady-state path: incremental or scratch",
+    },
+    EnvVar {
+        name: "NETPACK_SMOKE",
+        kind: VarKind::Knob,
+        gate: Gate::None,
+        desc: "single tiny cell (the scripts/check.sh gates)",
+    },
+    EnvVar {
+        name: "NETPACK_THREADS",
+        kind: VarKind::Knob,
+        gate: Gate::None,
+        desc: "worker threads for sweeps and the speculative batch engine",
+    },
+    EnvVar {
+        name: "NETPACK_TOPO",
+        kind: VarKind::ModeGate,
+        gate: Gate::CheckSh,
+        desc: "placement topology path: flat indexed SoA or struct reference",
+    },
+];
+
+/// Look a variable up by exact name.
+pub fn find(name: &str) -> Option<&'static EnvVar> {
+    REGISTRY.iter().find(|v| v.name == name)
+}
+
+/// Extract `NETPACK_*` tokens from a text fragment. A token is a maximal
+/// `[A-Z0-9_]+` run starting with `NETPACK_`; runs ending in `_` are
+/// prefix mentions (`NETPACK_SERVICE_*` prose), not variable names.
+pub fn env_tokens(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0usize;
+    let is_tok = |b: u8| b.is_ascii_uppercase() || b.is_ascii_digit() || b == b'_';
+    while i < bytes.len() {
+        if !is_tok(bytes[i]) || (i > 0 && is_tok(bytes[i - 1])) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < bytes.len() && is_tok(bytes[i]) {
+            i += 1;
+        }
+        let tok = &text[start..i];
+        if tok.starts_with("NETPACK_") && tok.len() > "NETPACK_".len() && !tok.ends_with('_') {
+            out.push((start, tok.to_string()));
+        }
+    }
+    out
+}
+
+/// `NETPACK_*` variable reads in one file's code literals (non-test
+/// lines). Returns `(line_index_0_based, name)` pairs.
+pub fn reads_in(lines: &[Line], is_test: &[bool]) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if is_test[idx] || line.literal.is_empty() {
+            continue;
+        }
+        for (_, name) in env_tokens(&line.literal) {
+            out.push((idx, name));
+        }
+    }
+    out
+}
+
+/// Workspace-level cross-checks: registry vs collected reads, README.md,
+/// and the declared gates. Only meaningful at the real workspace root —
+/// the engine calls this when `README.md` and `scripts/check.sh` both
+/// exist under `root`.
+pub fn cross_check(root: &Path, reads: &[(String, usize, String)]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let m1 = |path: &str, line: usize, message: String| Finding {
+        rule: "M1",
+        path: path.to_string(),
+        line,
+        message,
+        func: None,
+    };
+
+    // Dead registry entries: no non-test code read anywhere.
+    for var in REGISTRY {
+        if !reads.iter().any(|(_, _, name)| name == var.name) {
+            findings.push(m1(
+                "crates/lint/src/registry.rs",
+                1,
+                format!(
+                    "registry entry `{}` is dead — no workspace code reads it; delete the entry or the feature it described",
+                    var.name
+                ),
+            ));
+        }
+    }
+
+    // README coverage, both directions.
+    let readme = std::fs::read_to_string(root.join("README.md")).unwrap_or_default();
+    let mut readme_names: Vec<(usize, String)> = Vec::new();
+    for (n, line) in readme.lines().enumerate() {
+        for (_, name) in env_tokens(line) {
+            readme_names.push((n + 1, name));
+        }
+    }
+    for var in REGISTRY {
+        if !readme_names.iter().any(|(_, name)| name == var.name) {
+            findings.push(m1(
+                "README.md",
+                1,
+                format!(
+                    "registered variable `{}` is missing from the README environment table",
+                    var.name
+                ),
+            ));
+        }
+    }
+    let mut reported_unknown: Vec<&str> = Vec::new();
+    for (line, name) in &readme_names {
+        if find(name).is_none() && !reported_unknown.contains(&name.as_str()) {
+            reported_unknown.push(name);
+            findings.push(m1(
+                "README.md",
+                *line,
+                format!("`{name}` is documented but not in the mode-gate registry — register it or drop the doc"),
+            ));
+        }
+    }
+
+    // Declared gates still hold.
+    let check_sh = std::fs::read_to_string(root.join("scripts/check.sh")).unwrap_or_default();
+    for var in REGISTRY {
+        match var.gate {
+            Gate::CheckSh => {
+                if !check_sh.contains(var.name) {
+                    findings.push(m1(
+                        "scripts/check.sh",
+                        1,
+                        format!(
+                            "mode gate `{}` is not exercised by scripts/check.sh — add a two-mode smoke or change its registry gate",
+                            var.name
+                        ),
+                    ));
+                }
+            }
+            Gate::Test { file, needle } => match std::fs::read_to_string(root.join(file)) {
+                Ok(text) if text.contains(needle) => {}
+                Ok(_) => findings.push(m1(
+                    file,
+                    1,
+                    format!(
+                        "gate for `{}` points at `{needle}` in {file}, which no longer contains it",
+                        var.name
+                    ),
+                )),
+                Err(_) => findings.push(m1(
+                    "crates/lint/src/registry.rs",
+                    1,
+                    format!("gate for `{}` points at missing file {file}", var.name),
+                )),
+            },
+            Gate::None => {}
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_sorted_and_unique() {
+        for pair in REGISTRY.windows(2) {
+            assert!(
+                pair[0].name < pair[1].name,
+                "registry must stay sorted: {} >= {}",
+                pair[0].name,
+                pair[1].name
+            );
+        }
+    }
+
+    #[test]
+    fn tokens_require_full_names() {
+        let toks = env_tokens("reads NETPACK_SIM and the NETPACK_SERVICE_ prefix, not NETPACK_");
+        let names: Vec<&str> = toks.iter().map(|(_, n)| n.as_str()).collect();
+        assert_eq!(names, vec!["NETPACK_SIM"]);
+    }
+
+    #[test]
+    fn reads_skip_comments_and_tests() {
+        let src = "\
+// NETPACK_COMMENTED is prose, not a read
+fn f() { let v = std::env::var(\"NETPACK_SIM\"); }
+#[cfg(test)]
+mod tests {
+    fn t() { std::env::set_var(\"NETPACK_PKT\", \"fast\"); }
+}
+";
+        let lines = crate::lexer::scan(src);
+        let is_test = [false, false, true, true, true, true, false];
+        let reads = reads_in(&lines, &is_test[..lines.len()]);
+        assert_eq!(reads.len(), 1);
+        assert_eq!(reads[0].1, "NETPACK_SIM");
+    }
+
+    #[test]
+    fn every_mode_gate_declares_an_enforcement_point() {
+        for var in REGISTRY {
+            if var.kind == VarKind::ModeGate {
+                assert!(
+                    var.gate != Gate::None,
+                    "{} is a mode gate without a gate declaration",
+                    var.name
+                );
+            }
+        }
+    }
+}

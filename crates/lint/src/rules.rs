@@ -1,18 +1,23 @@
-//! The five NetPack lint rules.
+//! The NetPack lint rules.
 //!
 //! Every rule operates on blanked code lines (see [`crate::lexer`]) of a
-//! single file plus a little per-file context (crate name, test-line
-//! mask). Rules are deliberately line-oriented and heuristic: the goal is
-//! catching this repo's real determinism hazards with zero dependencies,
-//! not a general Rust analyzer. The fixture tests in `tests/` define the
-//! contract for each rule.
+//! single file plus per-file context: crate name, test-line mask, and —
+//! since v2 — the block/item scope tree from [`crate::scopes`], which
+//! lets the concurrency rules reason about what a parallel closure
+//! captures and lets every finding name its enclosing function. Rules
+//! are deliberately heuristic: the goal is catching this repo's real
+//! determinism hazards with zero dependencies, not a general Rust
+//! analyzer. The fixture tests in `tests/` define the contract for each
+//! rule.
 
 use crate::lexer::{is_ident_char, Line};
+use crate::registry;
+use crate::scopes::ScopeTree;
 
 /// A single rule violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule id (`D1`, `D2`, `D3`, `N1`, `E1`, or `pragma`).
+    /// Rule id (`D1`…`P1`, or `pragma` for a malformed pragma).
     pub rule: &'static str,
     /// Path as given to the engine (workspace-relative in normal runs).
     pub path: String,
@@ -20,10 +25,75 @@ pub struct Finding {
     pub line: usize,
     /// Human-readable explanation.
     pub message: String,
+    /// Name of the enclosing `fn`, when the scope tree resolves one.
+    pub func: Option<String>,
 }
 
 /// All rule ids, in report order.
-pub const RULES: [&str; 5] = ["D1", "D2", "D3", "N1", "E1"];
+pub const RULES: [&str; 9] = ["D1", "D2", "D3", "N1", "E1", "C1", "C2", "M1", "P1"];
+
+/// Long-form rationale per rule, printed by `--explain <rule>`.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    Some(match rule {
+        "D1" => "D1 — hash-order iteration in sim/placement crates.\n\n\
+            HashMap/HashSet iteration order changes across runs and Rust\n\
+            versions. Any such iteration that reaches simulation results,\n\
+            placements, or printed output silently breaks the bit-identity\n\
+            contract between fast paths and their scratch references.\n\
+            Fix: BTreeMap/BTreeSet, or collect-and-sort before iterating.",
+        "D2" => "D2 — wall-clock reads outside metrics::perf.\n\n\
+            Instant::now / SystemTime in simulation or placement state makes\n\
+            replays irreproducible. All timing goes through\n\
+            netpack_metrics::Stopwatch, the one sanctioned clock site.",
+        "D3" => "D3 — unseeded randomness.\n\n\
+            thread_rng / from_entropy / rand::random draw from OS entropy,\n\
+            so two runs of the same experiment disagree. Every RNG must be\n\
+            derived from an explicit seed that the caller controls.",
+        "N1" => "N1 — float accumulation inside parallel or batched regions.\n\n\
+            Float addition is not associative: a += over a parallel fold or\n\
+            a batched round loop re-associates the sum and the result\n\
+            depends on chunking. Route through exact accumulation\n\
+            (add_cycle-style integer/exact paths) or an ordered reduce\n\
+            (parallel_sweep_reduce merges in cell order).",
+        "E1" => "E1 — unwrap/expect/panic! in library crates.\n\n\
+            Library code returns typed errors; aborting is the caller's\n\
+            decision. Grandfathered debt lives in lint-baseline.txt and\n\
+            only shrinks. A panic that asserts a proven invariant may stay,\n\
+            with the proof in the expect message and an allow(E1) pragma.",
+        "C1" => "C1 — shared mutable state captured by a parallel closure.\n\n\
+            The deterministic-parallelism contract (parallel_sweep and its\n\
+            _with/_reduce variants, thread::spawn) is that every cell is\n\
+            independent: results are merged in cell order, so any cell\n\
+            writing state another cell can see makes the merge order\n\
+            observable. The rule flags RefCell/Cell-typed bindings and &mut\n\
+            borrows/aliases that originate OUTSIDE a parallel region but\n\
+            are used inside its closure. Fix: give each cell its own state\n\
+            and commit deterministically after the join.",
+        "C2" => "C2 — unjustified static mut / Ordering::Relaxed.\n\n\
+            static mut is a data race waiting to happen (and unsafe, which\n\
+            the workspace forbids). Ordering::Relaxed is sometimes correct —\n\
+            the exact placer's monotone shared best-bound, a sender\n\
+            refcount — but each site must say WHY relaxed ordering cannot\n\
+            reach results: every use carries a per-site\n\
+            `// netpack-lint: allow(C2): <proof>` pragma. An allowlist that\n\
+            must be argued for is the point.",
+        "M1" => "M1 — the NETPACK_* mode-gate registry.\n\n\
+            Every env-gated behavior is declared once, in\n\
+            crates/lint/src/registry.rs, and cross-checked on every run:\n\
+            an env::var read of an unregistered name, a registered name no\n\
+            code reads, a name missing from the README env table, and a\n\
+            mode gate whose check.sh smoke or named property test\n\
+            disappeared are all findings. A new mode switch cannot ship\n\
+            undocumented or ungated.",
+        "P1" => "P1 — stale suppression pragmas.\n\n\
+            An `allow(<rule>)` pragma that no longer suppresses any finding\n\
+            is debt pretending to be justification: the hazard it excused\n\
+            is gone, but the excuse invites the next one. Stale pragmas are\n\
+            findings themselves, so the suppression set can only shrink.\n\
+            P1 cannot be suppressed.",
+        _ => return None,
+    })
+}
 
 /// Crates whose non-test code must not iterate hash-ordered containers
 /// (rule D1): the simulation / placement / reporting pipeline where
@@ -49,6 +119,8 @@ pub struct FileContext<'a> {
     pub lines: &'a [Line],
     /// `true` for every line inside a `#[cfg(test)]` / `#[test]` region.
     pub is_test: &'a [bool],
+    /// Block/item structure from [`crate::scopes::parse`].
+    pub scopes: &'a ScopeTree,
 }
 
 impl FileContext<'_> {
@@ -66,6 +138,9 @@ pub fn check_file(ctx: &FileContext<'_>) -> Vec<Finding> {
     d3_unseeded_randomness(ctx, &mut findings);
     n1_parallel_float_accumulation(ctx, &mut findings);
     e1_panics(ctx, &mut findings);
+    c1_captured_mutable_state(ctx, &mut findings);
+    c2_relaxed_and_static_mut(ctx, &mut findings);
+    m1_unregistered_env_reads(ctx, &mut findings);
     findings
 }
 
@@ -75,6 +150,10 @@ fn finding(ctx: &FileContext<'_>, rule: &'static str, idx: usize, message: Strin
         path: ctx.path.to_string(),
         line: idx + 1,
         message,
+        func: ctx
+            .scopes
+            .enclosing_fn(idx + 1)
+            .map(|s| s.name.clone()),
     }
 }
 
@@ -411,27 +490,52 @@ fn contains_float_literal(code: &str) -> bool {
     false
 }
 
-/// Lines inside a parallel closure (`parallel_sweep(…)` and its
-/// `_with`/`_reduce` variants, rayon adapters, `thread::scope(…)`) or, in
+/// Call expressions that hand a closure to concurrent workers. The
+/// region of interest spans the call's argument list, which contains the
+/// closure body whether or not it is braced.
+const PARALLEL_TRIGGERS: [&str; 9] = [
+    "parallel_sweep(",
+    "parallel_sweep_with(",
+    "parallel_sweep_reduce(",
+    ".par_iter(",
+    ".into_par_iter(",
+    ".par_chunks(",
+    "rayon::scope(",
+    "thread::scope(",
+    "thread::spawn(",
+];
+
+/// A parallel region: the argument-list extent of one trigger call,
+/// inclusive line span (0-based indices).
+struct Region {
+    start: usize,
+    end: usize,
+}
+
+/// Every parallel-trigger region in the file.
+fn parallel_regions(ctx: &FileContext<'_>) -> Vec<Region> {
+    let mut regions = Vec::new();
+    for (idx, line) in ctx.lines.iter().enumerate() {
+        for trigger in PARALLEL_TRIGGERS {
+            if let Some(pos) = line.code.find(trigger) {
+                let open = pos + trigger.len() - 1;
+                regions.push(Region {
+                    start: idx,
+                    end: balanced_end(ctx, idx, open, '(', ')'),
+                });
+            }
+        }
+    }
+    regions
+}
+
+/// Lines inside a parallel closure (see [`PARALLEL_TRIGGERS`]) or, in
 /// `packetsim`, inside a `fn …batch…` body.
 fn n1_regions(ctx: &FileContext<'_>) -> Vec<bool> {
     let mut region = vec![false; ctx.lines.len()];
-    const TRIGGERS: [&str; 8] = [
-        "parallel_sweep(",
-        "parallel_sweep_with(",
-        "parallel_sweep_reduce(",
-        ".par_iter(",
-        ".into_par_iter(",
-        ".par_chunks(",
-        "rayon::scope(",
-        "thread::scope(",
-    ];
-    for (idx, line) in ctx.lines.iter().enumerate() {
-        for trigger in TRIGGERS {
-            if let Some(pos) = line.code.find(trigger) {
-                let open = pos + trigger.len() - 1;
-                mark_balanced(ctx, idx, open, '(', ')', &mut region);
-            }
+    for r in parallel_regions(ctx) {
+        for m in &mut region[r.start..=r.end.min(ctx.lines.len() - 1)] {
+            *m = true;
         }
     }
     if ctx.crate_name == "packetsim" {
@@ -493,6 +597,213 @@ fn mark_balanced(
                     return;
                 }
             }
+        }
+    }
+}
+
+/// 0-based index of the line holding the delimiter that balances `open`
+/// at (`line`, `col`); the last line when the file ends first.
+fn balanced_end(ctx: &FileContext<'_>, line: usize, col: usize, open: char, close: char) -> usize {
+    let mut depth = 0i32;
+    for idx in line..ctx.lines.len() {
+        let code = ctx.code(idx);
+        let start = if idx == line { col } else { 0 };
+        for c in code[start.min(code.len())..].chars() {
+            if c == open {
+                depth += 1;
+            } else if c == close {
+                depth -= 1;
+                if depth == 0 {
+                    return idx;
+                }
+            }
+        }
+    }
+    ctx.lines.len().saturating_sub(1)
+}
+
+/// All `let` bindings in the file as `(name, line_index)` pairs, with no
+/// type filter. Used to decide where a borrowed name originates.
+fn let_binding_lines(ctx: &FileContext<'_>) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for (idx, line) in ctx.lines.iter().enumerate() {
+        let code = &line.code;
+        if let Some(pos) = find_keyword(code, "let") {
+            let rest = code[pos + 3..].trim_start().trim_start_matches("mut ").trim_start();
+            let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+            if !name.is_empty() {
+                out.push((name, idx));
+            }
+        }
+    }
+    out
+}
+
+/// Bindings whose declared type or initializer names one of `markers`,
+/// as `(name, line_index)` pairs: `let x: T`, `let x = T::…`, `field: T`,
+/// `param: T`.
+fn typed_binding_lines(ctx: &FileContext<'_>, markers: &[&str]) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for (idx, line) in ctx.lines.iter().enumerate() {
+        let code = &line.code;
+        if !markers.iter().any(|m| has_ident(code, m)) {
+            continue;
+        }
+        if let Some(pos) = find_keyword(code, "let") {
+            let rest = code[pos + 3..].trim_start().trim_start_matches("mut ").trim_start();
+            let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+            if !name.is_empty() {
+                out.push((name, idx));
+                continue;
+            }
+        }
+        for (colon, _) in code.match_indices(':') {
+            if colon + 1 < code.len() && code[colon + 1..].starts_with(':') {
+                continue;
+            }
+            if colon > 0 && code[..colon].ends_with(':') {
+                continue;
+            }
+            let after = code[colon + 1..]
+                .trim_start()
+                .trim_start_matches('&')
+                .trim_start_matches("mut ")
+                .trim_start_matches("std::cell::");
+            if markers.iter().any(|m| after.starts_with(m)) {
+                if let Some(name) = ident_before(code, colon) {
+                    out.push((name.to_string(), idx));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// C1 — shared mutable state originating outside a parallel region but
+/// used inside its closure: `RefCell`/`Cell`-typed bindings, and `&mut`
+/// borrows of names `let`-bound outside the region.
+fn c1_captured_mutable_state(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    let regions = parallel_regions(ctx);
+    if regions.is_empty() {
+        return;
+    }
+    let cell_bindings = typed_binding_lines(ctx, &["RefCell", "Cell"]);
+    let let_bindings = let_binding_lines(ctx);
+    for region in &regions {
+        let inside = |decl: usize| region.start <= decl && decl <= region.end;
+        // Interior-mutable bindings declared outside, touched inside.
+        let mut flagged: Vec<&str> = Vec::new();
+        for (name, decl) in &cell_bindings {
+            if inside(*decl) || flagged.contains(&name.as_str()) {
+                continue;
+            }
+            for idx in region.start..=region.end.min(ctx.lines.len() - 1) {
+                if ctx.is_test[idx] || idx == *decl {
+                    continue;
+                }
+                if has_ident(ctx.code(idx), name) {
+                    flagged.push(name);
+                    out.push(finding(
+                        ctx,
+                        "C1",
+                        idx,
+                        format!(
+                            "`{name}` is RefCell/Cell state declared outside this parallel region — interior mutation makes the merge order observable; give each cell its own state"
+                        ),
+                    ));
+                    break;
+                }
+            }
+        }
+        // `&mut name` borrows of names bound outside the region (and not
+        // rebound inside it — per-cell locals are fine).
+        let mut mut_flagged: Vec<String> = Vec::new();
+        for idx in region.start..=region.end.min(ctx.lines.len() - 1) {
+            if ctx.is_test[idx] {
+                continue;
+            }
+            let code = ctx.code(idx);
+            let mut from = 0usize;
+            while let Some(pos) = code[from..].find("&mut ") {
+                let at = from + pos + "&mut ".len();
+                let name: String =
+                    code[at..].chars().take_while(|&c| is_ident_char(c)).collect();
+                from = at;
+                if name.is_empty() || mut_flagged.contains(&name) {
+                    continue;
+                }
+                let outside_decl = let_bindings
+                    .iter()
+                    .any(|(n, decl)| n == &name && !inside(*decl));
+                let inside_decl = let_bindings
+                    .iter()
+                    .any(|(n, decl)| n == &name && inside(*decl));
+                if outside_decl && !inside_decl {
+                    mut_flagged.push(name.clone());
+                    out.push(finding(
+                        ctx,
+                        "C1",
+                        idx,
+                        format!(
+                            "`&mut {name}` borrows state declared outside this parallel region — cells must not share mutable state"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// C2 — `static mut` or `Ordering::Relaxed` anywhere in non-test code.
+/// Each legitimate site carries a per-line `allow(C2)` pragma arguing why
+/// relaxed ordering cannot reach results.
+fn c2_relaxed_and_static_mut(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    for (idx, line) in ctx.lines.iter().enumerate() {
+        if ctx.is_test[idx] {
+            continue;
+        }
+        let code = &line.code;
+        if code.contains("Ordering::Relaxed") {
+            out.push(finding(
+                ctx,
+                "C2",
+                idx,
+                "`Ordering::Relaxed` — justify why reordering cannot reach results (allow(C2) with the proof) or strengthen the ordering"
+                    .to_string(),
+            ));
+        }
+        if let Some(pos) = find_keyword(code, "static") {
+            if code[pos + "static".len()..].trim_start().starts_with("mut ") {
+                out.push(finding(
+                    ctx,
+                    "C2",
+                    idx,
+                    "`static mut` is an un-synchronized global — use an atomic or a passed-in &mut"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// M1 (per-file half) — `NETPACK_*` reads whose name is not in the
+/// registry. The lint crate itself is exempt: it names every variable
+/// without reading any. The workspace-level cross-checks (dead entries,
+/// README, gates) run in [`crate::registry::cross_check`].
+fn m1_unregistered_env_reads(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    if ctx.path.starts_with("crates/lint/") {
+        return;
+    }
+    for (idx, name) in registry::reads_in(ctx.lines, ctx.is_test) {
+        if registry::find(&name).is_none() {
+            out.push(finding(
+                ctx,
+                "M1",
+                idx,
+                format!(
+                    "`{name}` is read but not in the mode-gate registry (crates/lint/src/registry.rs) — register it with kind, gate, and README row"
+                ),
+            ));
         }
     }
 }

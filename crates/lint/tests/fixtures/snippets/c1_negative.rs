@@ -1,0 +1,13 @@
+// C1 negative: per-cell state declared *inside* the closure is the
+// sanctioned pattern — nothing crosses the region boundary.
+use std::cell::RefCell;
+
+pub fn sweep(xs: &[u64]) -> u64 {
+    parallel_sweep(xs, |x| {
+        let local = RefCell::new(0u64);
+        *local.borrow_mut() += x;
+        let mut acc = 0u64;
+        bump(&mut acc);
+        local.into_inner() + acc
+    })
+}

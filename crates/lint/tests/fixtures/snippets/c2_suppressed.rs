@@ -1,0 +1,7 @@
+// C2 suppressed: a Relaxed site carrying its per-site proof.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn tick(total: &AtomicU64) -> u64 {
+    // netpack-lint: allow(C2): monotone counter — only the total matters, never the order
+    total.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,13 @@
+// C1 positive fixture: RefCell state and an outer &mut borrow both
+// crossing into a parallel closure.
+use std::cell::RefCell;
+
+pub fn sweep(xs: &[u64]) -> u64 {
+    let shared = RefCell::new(0u64);
+    let mut total = 0u64;
+    parallel_sweep(xs, |x| {
+        *shared.borrow_mut() += x;
+        bump(&mut total);
+    });
+    total
+}

@@ -1,0 +1,9 @@
+// C2 positive fixture: a static mut global and an unjustified
+// Ordering::Relaxed with no per-site proof pragma.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static mut COUNTER: u64 = 0;
+
+pub fn tick(total: &AtomicU64) -> u64 {
+    total.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,6 @@
+// P1 positive fixture: a well-formed pragma with nothing left to
+// suppress — the hazard it excused was deleted.
+pub fn hello() -> u32 {
+    // netpack-lint: allow(D2): the Instant::now below was removed long ago
+    41 + 1
+}

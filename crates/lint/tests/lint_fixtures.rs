@@ -79,6 +79,60 @@ fn e1_ignores_driver_crates() {
     assert!(rule_lines(&fs, "E1").is_empty(), "{fs:#?}");
 }
 
+#[test]
+fn c1_positive_flags_refcell_and_outer_mut_borrow() {
+    let src = include_str!("fixtures/tree_c1/crates/metrics/src/lib.rs");
+    let fs = findings("crates/metrics/src/lib.rs", src);
+    assert_eq!(rule_lines(&fs, "C1"), vec![9, 10], "{fs:#?}");
+    assert_eq!(fs.len(), 2, "no other rule should fire: {fs:#?}");
+}
+
+#[test]
+fn findings_are_attributed_to_their_enclosing_fn() {
+    let src = include_str!("fixtures/tree_c1/crates/metrics/src/lib.rs");
+    let fs = findings("crates/metrics/src/lib.rs", src);
+    assert!(
+        fs.iter().all(|f| f.func.as_deref() == Some("sweep")),
+        "scope attribution must name the fn: {fs:#?}"
+    );
+}
+
+#[test]
+fn c2_positive_flags_static_mut_and_relaxed() {
+    let src = include_str!("fixtures/tree_c2/crates/service/src/lib.rs");
+    let fs = findings("crates/service/src/lib.rs", src);
+    assert_eq!(rule_lines(&fs, "C2"), vec![5, 8], "{fs:#?}");
+}
+
+#[test]
+fn m1_positive_flags_unregistered_read() {
+    let src = include_str!("fixtures/tree_m1/crates/core/src/lib.rs");
+    let fs = findings("crates/core/src/lib.rs", src);
+    assert_eq!(rule_lines(&fs, "M1"), vec![4], "{fs:#?}");
+}
+
+#[test]
+fn m1_exempts_the_lint_crate_itself() {
+    let src = include_str!("fixtures/tree_m1/crates/core/src/lib.rs");
+    let fs = findings("crates/lint/src/registry.rs", src);
+    assert!(rule_lines(&fs, "M1").is_empty(), "{fs:#?}");
+}
+
+#[test]
+fn p1_positive_flags_stale_pragma() {
+    let src = include_str!("fixtures/tree_p1/crates/workload/src/lib.rs");
+    let fs = findings("crates/workload/src/lib.rs", src);
+    assert_eq!(rule_lines(&fs, "P1"), vec![4], "{fs:#?}");
+}
+
+#[test]
+fn p1_cannot_be_suppressed() {
+    // An allow(P1) pragma suppresses nothing, so it is itself stale.
+    let src = "pub fn f() -> u32 {\n    // netpack-lint: allow(P1): trying to silence the silencer\n    1\n}\n";
+    let fs = findings("crates/workload/src/fix.rs", src);
+    assert_eq!(rule_lines(&fs, "P1"), vec![2], "{fs:#?}");
+}
+
 // ---------------------------------------------------------------- negatives
 
 #[test]
@@ -103,6 +157,14 @@ fn negatives_stay_quiet() {
         (
             "crates/topology/src/fix.rs",
             include_str!("fixtures/snippets/e1_negative.rs"),
+        ),
+        (
+            "crates/metrics/src/fix.rs",
+            include_str!("fixtures/snippets/c1_negative.rs"),
+        ),
+        (
+            "crates/core/src/fix.rs",
+            include_str!("fixtures/snippets/m1_negative.rs"),
         ),
     ] {
         let fs = findings(path, src);
@@ -134,6 +196,10 @@ fn pragmas_suppress_with_reason() {
         (
             "crates/topology/src/fix.rs",
             include_str!("fixtures/snippets/e1_suppressed.rs"),
+        ),
+        (
+            "crates/service/src/fix.rs",
+            include_str!("fixtures/snippets/c2_suppressed.rs"),
         ),
     ] {
         let report = analyze_source(path, src);
@@ -208,6 +274,10 @@ fn binary_exits_nonzero_on_each_seeded_rule() {
         ("tree_d3", "[D3]"),
         ("tree_n1", "[N1]"),
         ("tree_e1", "[E1]"),
+        ("tree_c1", "[C1]"),
+        ("tree_c2", "[C2]"),
+        ("tree_m1", "[M1]"),
+        ("tree_p1", "[P1]"),
     ] {
         let (code, stdout) = run_binary_on(tree);
         assert_eq!(code, Some(1), "{tree} must fail: {stdout}");
@@ -220,4 +290,47 @@ fn binary_exits_zero_on_clean_tree() {
     let (code, stdout) = run_binary_on("tree_clean");
     assert_eq!(code, Some(0), "clean tree must pass: {stdout}");
     assert!(stdout.contains("clean"), "{stdout}");
+}
+
+fn run_binary(args: &[&str]) -> (Option<i32>, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_netpack-lint"))
+        .args(args)
+        .output()
+        .expect("spawn netpack-lint");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn json_format_keeps_the_exit_contract_and_emits_findings() {
+    let root = fixture_dir().join("tree_c1");
+    let (code, stdout, _) =
+        run_binary(&["--root", root.to_str().unwrap(), "--format=json"]);
+    assert_eq!(code, Some(1), "seeded tree must still fail in json: {stdout}");
+    assert!(stdout.contains("\"rule\": \"C1\""), "{stdout}");
+    assert!(stdout.contains("\"func\": \"sweep\""), "{stdout}");
+    assert!(stdout.trim_start().starts_with('{') && stdout.trim_end().ends_with('}'));
+
+    let root = fixture_dir().join("tree_clean");
+    let (code, stdout, _) =
+        run_binary(&["--root", root.to_str().unwrap(), "--format=json"]);
+    assert_eq!(code, Some(0), "clean tree must pass in json: {stdout}");
+    assert!(stdout.contains("\"findings\": []"), "{stdout}");
+}
+
+#[test]
+fn explain_prints_rationale_and_rejects_unknown_rules() {
+    for rule in netpack_lint::RULES {
+        let (code, stdout, _) = run_binary(&["--explain", rule]);
+        assert_eq!(code, Some(0), "--explain {rule} must succeed");
+        assert!(stdout.contains(rule), "--explain {rule}: {stdout}");
+    }
+    let (code, stdout, _) = run_binary(&["--explain", "M1"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("NETPACK_SIM"), "M1 lists the registry: {stdout}");
+    let (code, _, stderr) = run_binary(&["--explain", "Z9"]);
+    assert_eq!(code, Some(2), "unknown rule must exit 2: {stderr}");
 }

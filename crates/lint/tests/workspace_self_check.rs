@@ -1,0 +1,91 @@
+//! Workspace self-test: the scope parser must consume every `.rs` file in
+//! the repository — including test code and the lint fixtures — without a
+//! single brace-balance diagnostic, and every parsed tree must satisfy the
+//! span invariants (children nest inside parents, in order). This is the
+//! guarantee that lets the C1/P1 rules trust scope spans on real code.
+
+use netpack_lint::{lexer, scopes};
+use std::path::{Path, PathBuf};
+
+/// Every `.rs` file under the workspace root, skipping only build output
+/// and VCS internals — unlike the lint walk, test trees and fixtures are
+/// *included*: the parser must survive all of them.
+fn all_rs_files(root: &Path) -> Vec<PathBuf> {
+    const SKIP_DIRS: [&str; 3] = ["target", "vendor", ".git"];
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = std::fs::read_dir(&dir).expect("read workspace dir");
+        for entry in entries {
+            let path = entry.expect("dir entry").path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+#[test]
+fn scope_parser_consumes_every_workspace_source_file() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let files = all_rs_files(&root);
+    assert!(
+        files.len() >= 50,
+        "workspace walk looks broken: only {} .rs files under {}",
+        files.len(),
+        root.display()
+    );
+    let mut fn_scopes = 0usize;
+    for path in &files {
+        let source = std::fs::read_to_string(path).expect("read source");
+        let lines = lexer::scan(&source);
+        let tree = scopes::parse(&lines);
+        assert!(
+            tree.diagnostics.is_empty(),
+            "{}: brace imbalance: {:?}",
+            path.display(),
+            tree.diagnostics
+        );
+        let problems = tree.span_problems();
+        assert!(
+            problems.is_empty(),
+            "{}: span invariants violated: {:?}",
+            path.display(),
+            problems
+        );
+        // Spans must stay within the file.
+        let last = lines.len().max(1);
+        for scope in tree.iter() {
+            assert!(
+                scope.start >= 1 && scope.end <= last,
+                "{}: scope `{}` out of range {}..{} (file has {last} lines)",
+                path.display(),
+                scope.name,
+                scope.start,
+                scope.end
+            );
+        }
+        fn_scopes += tree
+            .iter()
+            .iter()
+            .filter(|s| s.kind == scopes::ScopeKind::Fn)
+            .count();
+    }
+    // A workspace this size has thousands of functions; a parser that
+    // silently classified them all as plain blocks would pass the
+    // balance checks while breaking attribution.
+    assert!(
+        fn_scopes >= 500,
+        "only {fn_scopes} fn scopes across the workspace — classifier regressed"
+    );
+}

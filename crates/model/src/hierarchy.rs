@@ -141,6 +141,13 @@ impl JobHierarchy {
         racks
     }
 
+    /// The remote (non-PS) racks with their worker counts, sorted by rack
+    /// id. Iterating this directly gives callers the per-rack flow count
+    /// without the `Option` of [`Self::incoming_flows`].
+    pub fn remote_racks(&self) -> &[(RackId, usize)] {
+        &self.remote_racks
+    }
+
     /// Number of flows entering a switch of this hierarchy from below,
     /// given the current `aggregating` predicate. Returns `None` for racks
     /// outside the hierarchy.

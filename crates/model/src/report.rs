@@ -99,13 +99,8 @@ pub fn single_job_report<F: Fn(RackId) -> f64>(
     let ps_rack = hierarchy.ps_rack();
     let mut fc = 0u32;
     let mut core_traffic = 0.0f64;
-    for rack in hierarchy.switches() {
-        if rack == ps_rack {
-            continue;
-        }
-        let n = hierarchy
-            .incoming_flows(rack, |_| true)
-            .expect("hierarchy switch");
+    for &(rack, workers) in hierarchy.remote_racks() {
+        let n = workers as u32;
         let a = if ina { pat_of(rack).min(rate_gbps) } else { 0.0 };
         switch_aggregated.push((rack, a));
         let (out_flows, out_traffic) = if aggregates(rack) {

@@ -569,11 +569,13 @@ impl BnbBranch<'_, '_> {
         // wall-time by a *later* branch must not cut the subtree holding
         // the first-in-order optimum.
         let local_cut = self.best.as_ref().is_some_and(|(b, _)| bound >= *b);
+        // netpack-lint: allow(C2): the shared bound is a monotone advisory — a stale read only prunes less, and the strict `>` cut keeps the first-in-order optimum regardless of which thread published the bound
         let shared = f64::from_bits(self.ctx.best_bound_bits.load(Ordering::Relaxed));
         if local_cut || bound > shared {
             self.stats.pruned += 1;
             return ControlFlow::Continue(());
         }
+        // netpack-lint: allow(C2): advisory early-exit only — the authoritative budget check is the per-leaf fetch_add ticket, so a stale count merely delays the abort by a few nodes
         if self.ctx.evaluations.load(Ordering::Relaxed) >= self.ctx.max_evaluations {
             return ControlFlow::Break(());
         }
@@ -599,6 +601,7 @@ impl BnbBranch<'_, '_> {
     fn leaf(&mut self, obj: f64) -> ControlFlow<()> {
         // One budget ticket per leaf; tickets past the budget abort the
         // branch with the incumbent intact.
+        // netpack-lint: allow(C2): only the ticket *count* gates the budget, never its order, and budget-abort determinism is pinned by the bnb-vs-scratch check.sh smoke
         let ticket = self.ctx.evaluations.fetch_add(1, Ordering::Relaxed);
         if ticket >= self.ctx.max_evaluations {
             return ControlFlow::Break(());
@@ -608,6 +611,7 @@ impl BnbBranch<'_, '_> {
             self.best = Some((obj, self.current.clone()));
             self.ctx
                 .best_bound_bits
+                // netpack-lint: allow(C2): fetch_min on non-negative objective bits is monotone — losing a race publishes a weaker bound, which can only reduce pruning, not change the committed result
                 .fetch_min(obj.to_bits(), Ordering::Relaxed);
         }
         ControlFlow::Continue(())

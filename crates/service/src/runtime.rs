@@ -86,6 +86,7 @@ pub struct CommandSender {
 
 impl Clone for CommandSender {
     fn clone(&self) -> Self {
+        // netpack-lint: allow(C2): refcount increment in the style of Arc — only the count matters, and the paired fetch_sub in Drop is AcqRel so the last-drop close is ordered
         self.shared.senders.fetch_add(1, Ordering::Relaxed);
         CommandSender {
             shared: Arc::clone(&self.shared),

@@ -110,6 +110,7 @@ impl Cluster {
     /// Panics if `spec` fails [`ClusterSpec::validate`]. Use
     /// [`Cluster::try_new`] for a fallible variant.
     pub fn new(spec: ClusterSpec) -> Self {
+        // netpack-lint: allow(E1): documented `# Panics` convenience constructor — the fallible path is try_new, and every library call site uses it
         Self::try_new(spec).expect("invalid cluster spec")
     }
 

@@ -4,8 +4,10 @@
 #   ./scripts/check.sh
 #
 # Runs the release build, clippy with warnings denied, netpack-lint (the
-# determinism/numeric-safety static pass; any finding not grandfathered in
-# lint-baseline.txt fails), the exact-placer two-mode smoke
+# determinism/concurrency/mode-gate static pass; any finding not
+# grandfathered in lint-baseline.txt fails — including a stale suppression
+# pragma (P1) or a NETPACK_* variable missing from the registry, the
+# README table, or its declared gate (M1)), the exact-placer two-mode smoke
 # (NETPACK_EXACT=bnb vs scratch must be byte-identical), the full
 # workspace test suite, the doctests, the fig9/fig10_xl/fig14 two-mode
 # smokes, the batch-mode smoke (NETPACK_BATCH=spec vs seq placements must
@@ -23,7 +25,7 @@ cargo build --workspace --release
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo run -p netpack-lint (new findings vs lint-baseline.txt fail)"
+echo "==> cargo run -p netpack-lint (new findings, stale pragmas, unregistered NETPACK_* vars fail)"
 cargo run -q -p netpack-lint
 
 exact_dir=$(mktemp -d)
@@ -81,9 +83,13 @@ if ! diff <(printf '%s\n' "$batch_spec") <(printf '%s\n' "$batch_seq"); then
 fi
 
 echo "==> service smoke: deterministic 10K-job replay must be byte-reproducible"
-svc_a=$(NETPACK_SMOKE=1 NETPACK_THREADS=1 NETPACK_SERVICE_EVENT_LOG="$exact_dir/svc_a.log" \
+# NETPACK_SERVICE_MODE is pinned explicitly: this smoke is the registered
+# enforcement point for that mode gate (see crates/lint/src/registry.rs).
+svc_a=$(NETPACK_SMOKE=1 NETPACK_THREADS=1 NETPACK_SERVICE_MODE=deterministic \
+    NETPACK_SERVICE_EVENT_LOG="$exact_dir/svc_a.log" \
     ./target/release/bench_service 2> /dev/null)
-svc_b=$(NETPACK_SMOKE=1 NETPACK_THREADS=1 NETPACK_SERVICE_EVENT_LOG="$exact_dir/svc_b.log" \
+svc_b=$(NETPACK_SMOKE=1 NETPACK_THREADS=1 NETPACK_SERVICE_MODE=deterministic \
+    NETPACK_SERVICE_EVENT_LOG="$exact_dir/svc_b.log" \
     ./target/release/bench_service 2> /dev/null)
 if ! diff <(printf '%s\n' "$svc_a") <(printf '%s\n' "$svc_b"); then
     echo "check.sh: service smoke DIVERGED between identical runs (stdout)" >&2
